@@ -1,0 +1,168 @@
+// google-benchmark microbenchmarks for the library's hot paths: SVM
+// training, attack generation, sanitization filters, the simplex solver,
+// Algorithm 1, and the core kernels they sit on.
+#include <benchmark/benchmark.h>
+
+#include "attack/boundary_attack.h"
+#include "core/equilibrium.h"
+#include "core/game_model.h"
+#include "data/synthetic.h"
+#include "defense/distance_filter.h"
+#include "defense/knn_filter.h"
+#include "defense/pca_filter.h"
+#include "game/solvers.h"
+#include "la/matrix.h"
+#include "ml/svm.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace pg;
+
+data::Dataset corpus(std::size_t n) {
+  data::SpambaseLikeConfig cfg;
+  cfg.n_instances = n;
+  util::Rng rng(42);
+  return data::make_spambase_like(cfg, rng);
+}
+
+void BM_RngUniform(benchmark::State& state) {
+  util::Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.uniform());
+  }
+}
+BENCHMARK(BM_RngUniform);
+
+void BM_Dot(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  la::Vector a(n, 1.5);
+  la::Vector b(n, -0.5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(la::dot(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Dot)->Arg(57)->Arg(1024);
+
+void BM_Matvec(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  la::Matrix m(n, 57, 0.5);
+  la::Vector x(57, 1.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(m.matvec(x));
+  }
+}
+BENCHMARK(BM_Matvec)->Arg(1000);
+
+void BM_SynthesizeCorpus(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    util::Rng rng(42);
+    data::SpambaseLikeConfig cfg;
+    cfg.n_instances = n;
+    benchmark::DoNotOptimize(data::make_spambase_like(cfg, rng));
+  }
+}
+BENCHMARK(BM_SynthesizeCorpus)->Arg(1000)->Arg(4601);
+
+void BM_SvmTrainEpochs(benchmark::State& state) {
+  const auto d = corpus(1000);
+  ml::SvmConfig cfg;
+  cfg.epochs = static_cast<std::size_t>(state.range(0));
+  const ml::SvmTrainer trainer(cfg);
+  for (auto _ : state) {
+    util::Rng rng(7);
+    benchmark::DoNotOptimize(trainer.train(d, rng));
+  }
+}
+BENCHMARK(BM_SvmTrainEpochs)->Arg(10)->Arg(100)->Unit(benchmark::kMillisecond);
+
+void BM_BoundaryAttack(benchmark::State& state) {
+  const auto d = corpus(1000);
+  attack::BoundaryAttackConfig cfg;
+  cfg.placement_fraction = 0.1;
+  cfg.depth_offsets.clear();  // isolate placement cost from probe cost
+  const attack::BoundaryAttack atk(cfg);
+  for (auto _ : state) {
+    util::Rng rng(7);
+    benchmark::DoNotOptimize(atk.generate(d, 200, rng));
+  }
+  state.SetItemsProcessed(state.iterations() * 200);
+}
+BENCHMARK(BM_BoundaryAttack)->Unit(benchmark::kMillisecond);
+
+void BM_DistanceFilter(benchmark::State& state) {
+  const auto d = corpus(static_cast<std::size_t>(state.range(0)));
+  defense::DistanceFilterConfig cfg;
+  cfg.removal_fraction = 0.2;
+  const defense::DistanceFilter f(cfg);
+  for (auto _ : state) {
+    util::Rng rng(7);
+    benchmark::DoNotOptimize(f.apply(d, rng));
+  }
+}
+BENCHMARK(BM_DistanceFilter)->Arg(1000)->Arg(4601)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_KnnFilter(benchmark::State& state) {
+  const auto d = corpus(static_cast<std::size_t>(state.range(0)));
+  defense::KnnFilterConfig cfg;
+  cfg.k = 10;
+  const defense::KnnFilter f(cfg);
+  for (auto _ : state) {
+    util::Rng rng(7);
+    benchmark::DoNotOptimize(f.apply(d, rng));
+  }
+}
+BENCHMARK(BM_KnnFilter)->Arg(500)->Unit(benchmark::kMillisecond);
+
+void BM_PcaFilter(benchmark::State& state) {
+  const auto d = corpus(1000);
+  defense::PcaFilterConfig cfg;
+  cfg.components = 5;
+  cfg.removal_fraction = 0.15;
+  const defense::PcaFilter f(cfg);
+  for (auto _ : state) {
+    util::Rng rng(7);
+    benchmark::DoNotOptimize(f.apply(d, rng));
+  }
+}
+BENCHMARK(BM_PcaFilter)->Unit(benchmark::kMillisecond);
+
+void BM_LpEquilibrium(benchmark::State& state) {
+  const auto curves = core::PayoffCurves::analytic(0.002, 5.0, 0.06, 1.4);
+  const core::PoisoningGame game(curves, 100);
+  const auto grid = static_cast<std::size_t>(state.range(0));
+  const auto mg = game.discretize(grid, grid);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(game::solve_lp_equilibrium(mg));
+  }
+}
+BENCHMARK(BM_LpEquilibrium)->Arg(32)->Arg(64)->Arg(128)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_FictitiousPlay(benchmark::State& state) {
+  const auto curves = core::PayoffCurves::analytic(0.002, 5.0, 0.06, 1.4);
+  const core::PoisoningGame game(curves, 100);
+  const auto mg = game.discretize(64, 64);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        game::solve_fictitious_play(mg, {.iterations = 10000}));
+  }
+}
+BENCHMARK(BM_FictitiousPlay)->Unit(benchmark::kMillisecond);
+
+void BM_Algorithm1(benchmark::State& state) {
+  const auto curves = core::PayoffCurves::analytic(0.002, 5.0, 0.06, 1.4);
+  const core::PoisoningGame game(curves, 100);
+  core::Algorithm1Config cfg;
+  cfg.support_size = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::compute_optimal_defense(game, cfg));
+  }
+}
+BENCHMARK(BM_Algorithm1)->Arg(2)->Arg(3)->Arg(5)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace

@@ -1,0 +1,52 @@
+// Why pure strategies fail: alternating best responses never settle.
+//
+//   $ ./adaptive_attacker
+//
+// Proposition 1 proves the poisoning game has no pure equilibrium; the
+// operational consequence is that any fixed filter invites a best-response
+// attack, whose own best-response defense invites a new attack, forever.
+// This demo traces that cycle on analytic payoff curves, then shows that
+// Algorithm 1's mixed strategy ends the arms race: the attacker's best
+// deviation gains (almost) nothing.
+#include <iostream>
+
+#include "core/equilibrium.h"
+#include "core/game_model.h"
+#include "core/ne_properties.h"
+#include "util/table.h"
+
+int main() {
+  using namespace pg;
+
+  const auto curves = core::PayoffCurves::analytic(0.002, 5.0, 0.06, 1.4);
+  const core::PoisoningGame game(curves, 100);
+
+  std::cout << "=== alternating best responses (pure strategies) ===\n";
+  const auto trace = core::best_response_dynamics(game, 0.05, 12);
+  util::TextTable t({"round", "defender filter", "attacker placement",
+                     "attacker payoff"});
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    t.add_row({std::to_string(i + 1),
+               util::format_percent(trace[i].defender_theta),
+               util::format_percent(trace[i].attacker_placement),
+               util::format_double(trace[i].attacker_payoff, 4)});
+  }
+  std::cout << t.str();
+  std::cout << "note: the defender chases the attacker inward, the attacker\n"
+               "hops back out -- no fixed point (Proposition 1).\n\n";
+
+  std::cout << "=== Algorithm 1: mixed equilibrium defense ===\n";
+  for (std::size_t n : {2, 3, 4}) {
+    core::Algorithm1Config cfg;
+    cfg.support_size = n;
+    const auto sol = core::compute_optimal_defense(game, cfg);
+    const auto exploit = core::attacker_exploitability(game, sol.strategy);
+    std::cout << "n=" << n << "  " << sol.strategy.describe()
+              << "  loss=" << util::format_double(sol.defender_loss, 5)
+              << "  attacker deviation gain="
+              << util::format_double(exploit.gain, 6) << "\n";
+  }
+  std::cout << "\nthe attacker's best deviation gains ~0 against the mixed\n"
+               "strategy: the arms race is over (Proposition 2 / sec. 4.2).\n";
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Compare the sanitization defense families under different attacks.
+//
+//   $ ./defense_comparison [seed]
+//
+// Runs the distance filter (the paper's defense), the kNN label-
+// consistency filter, the PCA residual filter and RONI against the
+// boundary attack (the paper's optimal attack), a label-flip attack and a
+// noise attack, reporting defended accuracy and poison detection
+// precision/recall for each pair.
+#include <cstdlib>
+#include <iostream>
+#include <memory>
+#include <vector>
+
+#include "attack/boundary_attack.h"
+#include "attack/label_flip.h"
+#include "attack/noise_attack.h"
+#include "defense/distance_filter.h"
+#include "defense/knn_filter.h"
+#include "defense/pca_filter.h"
+#include "defense/pipeline.h"
+#include "defense/roni.h"
+#include "sim/experiment.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace pg;
+  const std::uint64_t seed =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 42;
+
+  sim::ExperimentConfig cfg = sim::fast_config(seed);
+  cfg.corpus.n_instances = 1200;
+  cfg.svm.epochs = 100;
+  const sim::ExperimentContext ctx = sim::prepare_experiment(cfg);
+  std::cout << "clean accuracy: " << util::format_percent(ctx.clean_accuracy)
+            << ", poison budget N=" << ctx.poison_budget << "\n\n";
+
+  std::vector<std::unique_ptr<attack::PoisoningAttack>> attacks;
+  attacks.push_back(std::make_unique<attack::BoundaryAttack>(
+      attack::BoundaryAttackConfig{.placement_fraction = 0.10}));
+  attacks.push_back(std::make_unique<attack::LabelFlipAttack>(
+      attack::LabelFlipConfig{attack::FlipSelection::kNearCentroid}));
+  attacks.push_back(std::make_unique<attack::NoiseAttack>());
+
+  std::vector<std::unique_ptr<defense::Filter>> filters;
+  filters.push_back(std::make_unique<defense::DistanceFilter>(
+      defense::DistanceFilterConfig{.removal_fraction = 0.15}));
+  filters.push_back(std::make_unique<defense::KnnFilter>(
+      defense::KnnFilterConfig{.k = 10, .agreement_threshold = 0.5}));
+  filters.push_back(std::make_unique<defense::PcaFilter>(
+      defense::PcaFilterConfig{.components = 5, .removal_fraction = 0.15}));
+  filters.push_back(
+      std::make_unique<defense::RoniFilter>(defense::RoniConfig{}));
+
+  const defense::Pipeline pipeline({cfg.svm});
+  util::Rng rng(seed);
+
+  for (const auto& atk : attacks) {
+    std::cout << "--- attack: " << atk->name() << " ---\n";
+    util::TextTable t({"defense", "accuracy", "det. precision", "det. recall"});
+    {
+      util::Rng r = rng.fork(1);
+      const auto res = pipeline.run(ctx.train, ctx.test, atk.get(),
+                                    ctx.poison_budget, nullptr, r);
+      t.add_row({"(none)", util::format_percent(res.test_accuracy), "-", "-"});
+    }
+    for (const auto& f : filters) {
+      util::Rng r = rng.fork(2 + std::hash<std::string>{}(f->name()) % 1000);
+      const auto res = pipeline.run(ctx.train, ctx.test, atk.get(),
+                                    ctx.poison_budget, f.get(), r);
+      t.add_row({f->name(), util::format_percent(res.test_accuracy),
+                 util::format_percent(res.detection.precision),
+                 util::format_percent(res.detection.recall)});
+    }
+    std::cout << t.str() << "\n";
+  }
+  std::cout << "takeaway: no single pure filter dominates across attacks --\n"
+               "the game-theoretic view (mixing filter strengths) is the\n"
+               "principled response to an adaptive adversary.\n";
+  return 0;
+}

@@ -1,0 +1,16 @@
+#include "attack/attack.h"
+
+#include <cmath>
+
+#include "util/error.h"
+
+namespace pg::attack {
+
+std::size_t poison_budget(std::size_t clean_size, double fraction) {
+  PG_CHECK(fraction >= 0.0 && fraction <= 1.0,
+           "poison fraction must be in [0, 1]");
+  return static_cast<std::size_t>(
+      std::floor(fraction * static_cast<double>(clean_size)));
+}
+
+}  // namespace pg::attack

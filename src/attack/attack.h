@@ -1,0 +1,36 @@
+// Poisoning attack interface.
+//
+// An attack observes the clean training set (the paper's threat model lets
+// the attacker hold an auxiliary dataset with the same distribution, which
+// for reproduction purposes is the training set itself) and produces a
+// dataset of malicious points to be concatenated into the training data.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "data/dataset.h"
+#include "util/rng.h"
+
+namespace pg::attack {
+
+class PoisoningAttack {
+ public:
+  virtual ~PoisoningAttack() = default;
+
+  /// Produce `n_points` poison instances. Implementations must not mutate
+  /// the clean data and must be deterministic in (clean, n_points, rng).
+  [[nodiscard]] virtual data::Dataset generate(const data::Dataset& clean,
+                                               std::size_t n_points,
+                                               util::Rng& rng) const = 0;
+
+  /// Human-readable name for reports.
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// Poison budget as a fraction of the clean training set size, e.g. the
+/// paper's 20%. Returns floor(fraction * n); fraction in [0, 1].
+[[nodiscard]] std::size_t poison_budget(std::size_t clean_size,
+                                        double fraction);
+
+}  // namespace pg::attack

@@ -1,0 +1,77 @@
+#include "attack/gradient_attack.h"
+
+#include <cmath>
+
+#include "attack/boundary_attack.h"
+#include "attack/radius_map.h"
+#include "la/vector_ops.h"
+#include "util/error.h"
+
+namespace pg::attack {
+
+GradientAttack::GradientAttack(GradientAttackConfig config)
+    : config_(config) {
+  PG_CHECK(config_.placement_fraction >= 0.0 &&
+               config_.placement_fraction <= 1.0,
+           "placement_fraction must be in [0, 1]");
+  PG_CHECK(config_.outer_iters >= 1, "outer_iters must be >= 1");
+  PG_CHECK(config_.step_scale > 0.0, "step_scale must be > 0");
+}
+
+std::string GradientAttack::name() const {
+  return "gradient(p=" + std::to_string(config_.placement_fraction) + ")";
+}
+
+data::Dataset GradientAttack::generate(const data::Dataset& clean,
+                                       std::size_t n_points,
+                                       util::Rng& rng) const {
+  PG_CHECK(!clean.empty(), "GradientAttack: empty clean dataset");
+
+  // Warm start from the analytic boundary placement (no depth search --
+  // this class does its own refinement).
+  BoundaryAttackConfig seed_cfg;
+  seed_cfg.placement_fraction = config_.placement_fraction;
+  seed_cfg.safety_margin = config_.safety_margin;
+  seed_cfg.depth_offsets.clear();
+  data::Dataset poison =
+      BoundaryAttack(seed_cfg).generate(clean, n_points, rng);
+  if (poison.empty()) return poison;
+
+  const ClassRadiusMap map(clean);
+  const ml::SvmTrainer trainer(config_.svm);
+
+  for (std::size_t it = 0; it < config_.outer_iters; ++it) {
+    const data::Dataset poisoned = data::concatenate(clean, poison);
+    util::Rng train_rng = rng.fork(1000 + it);
+    const ml::LinearModel model = trainer.train(poisoned, train_rng);
+    const double wn = la::norm(model.weights());
+    if (wn == 0.0) break;
+
+    data::Dataset next;
+    for (std::size_t k = 0; k < poison.size(); ++k) {
+      const int label = poison.label(k);
+      la::Vector x = poison.instance(k);
+      const la::Vector& centroid = map.geometry(label).centroid;
+      const double radius =
+          map.radius_for_removal(label, config_.placement_fraction) *
+          (1.0 - config_.safety_margin);
+      // Ascend the victim's hinge loss: a point with label y pulls the
+      // boundary hardest when pushed along -y * w.
+      la::Vector grad = la::scaled(model.weights(),
+                                   -static_cast<double>(label) / wn);
+      la::axpy(config_.step_scale * radius, grad, x);
+      // Project back onto the feasibility sphere around the class centroid.
+      la::Vector offset = la::subtract(x, centroid);
+      const double off_norm = la::norm(offset);
+      if (off_norm > radius && off_norm > 0.0) {
+        x = centroid;
+        la::axpy(radius / off_norm, offset, x);
+      }
+      next.append(x, label);
+    }
+    poison = std::move(next);
+  }
+  return poison;
+}
+
+}  // namespace pg::attack

@@ -1,0 +1,77 @@
+#include "attack/label_flip.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "la/vector_ops.h"
+#include "util/error.h"
+
+namespace pg::attack {
+
+LabelFlipAttack::LabelFlipAttack(LabelFlipConfig config) : config_(config) {}
+
+std::string LabelFlipAttack::name() const {
+  switch (config_.selection) {
+    case FlipSelection::kRandom:
+      return "label-flip(random)";
+    case FlipSelection::kNearCentroid:
+      return "label-flip(near-centroid)";
+    case FlipSelection::kFarthest:
+      return "label-flip(farthest)";
+  }
+  return "label-flip(?)";
+}
+
+data::Dataset LabelFlipAttack::generate(const data::Dataset& clean,
+                                        std::size_t n_points,
+                                        util::Rng& rng) const {
+  PG_CHECK(!clean.empty(), "LabelFlipAttack: empty clean dataset");
+
+  std::vector<std::size_t> order(clean.size());
+  std::iota(order.begin(), order.end(), 0);
+
+  switch (config_.selection) {
+    case FlipSelection::kRandom: {
+      rng.shuffle(order);
+      break;
+    }
+    case FlipSelection::kNearCentroid: {
+      // Points nearest to the opposite class centroid flip most credibly.
+      const la::Vector c_pos = clean.class_mean(1);
+      const la::Vector c_neg = clean.class_mean(-1);
+      std::vector<double> key(clean.size());
+      for (std::size_t i = 0; i < clean.size(); ++i) {
+        const la::Vector& target = clean.label(i) == 1 ? c_neg : c_pos;
+        key[i] = la::distance(clean.instance(i), target);
+      }
+      std::stable_sort(order.begin(), order.end(),
+                       [&](std::size_t a, std::size_t b) {
+                         return key[a] < key[b];
+                       });
+      break;
+    }
+    case FlipSelection::kFarthest: {
+      const la::Vector c_pos = clean.class_mean(1);
+      const la::Vector c_neg = clean.class_mean(-1);
+      std::vector<double> key(clean.size());
+      for (std::size_t i = 0; i < clean.size(); ++i) {
+        const la::Vector& own = clean.label(i) == 1 ? c_pos : c_neg;
+        key[i] = -la::distance(clean.instance(i), own);
+      }
+      std::stable_sort(order.begin(), order.end(),
+                       [&](std::size_t a, std::size_t b) {
+                         return key[a] < key[b];
+                       });
+      break;
+    }
+  }
+
+  data::Dataset poison;
+  for (std::size_t k = 0; k < n_points; ++k) {
+    const std::size_t i = order[k % order.size()];
+    poison.append(clean.instance(i), -clean.label(i));
+  }
+  return poison;
+}
+
+}  // namespace pg::attack

@@ -1,0 +1,39 @@
+// Label-flip poisoning baselines.
+//
+// Weaker attacks than the boundary attack; the defense-ablation bench uses
+// them to show that the game-optimal filter strength depends on the threat,
+// which is precisely why a fixed (pure) defense is exploitable.
+#pragma once
+
+#include <string>
+
+#include "attack/attack.h"
+
+namespace pg::attack {
+
+enum class FlipSelection {
+  kRandom,        // flip labels of uniformly chosen clean points
+  kNearCentroid,  // duplicate points closest to the *opposite* centroid
+  kFarthest       // duplicate points farthest from their own centroid
+};
+
+struct LabelFlipConfig {
+  FlipSelection selection = FlipSelection::kRandom;
+};
+
+/// Emits copies of existing clean points with inverted labels.
+class LabelFlipAttack final : public PoisoningAttack {
+ public:
+  explicit LabelFlipAttack(LabelFlipConfig config = {});
+
+  [[nodiscard]] data::Dataset generate(const data::Dataset& clean,
+                                       std::size_t n_points,
+                                       util::Rng& rng) const override;
+
+  [[nodiscard]] std::string name() const override;
+
+ private:
+  LabelFlipConfig config_;
+};
+
+}  // namespace pg::attack

@@ -1,0 +1,100 @@
+#include "attack/mixed_attack.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.h"
+
+namespace pg::attack {
+
+data::Dataset generate_allocation(const data::Dataset& clean,
+                                  const AttackAllocation& allocation,
+                                  util::Rng& rng, double safety_margin,
+                                  double direction_noise) {
+  data::Dataset poison;
+  for (const auto& [fraction, count] : allocation) {
+    if (count == 0) continue;
+    BoundaryAttackConfig cfg;
+    cfg.placement_fraction = fraction;
+    cfg.safety_margin = safety_margin;
+    cfg.direction_noise = direction_noise;
+    // Allocations realize an equilibrium S_a: points go exactly on the
+    // support boundaries (section 4.2 -- the attacker is indifferent, and
+    // off-support depths are weakly worse), so no depth search here.
+    cfg.depth_offsets.clear();
+    const data::Dataset part =
+        BoundaryAttack(cfg).generate(clean, count, rng);
+    poison = data::concatenate(poison, part);
+  }
+  return poison;
+}
+
+MixedAttackStrategy::MixedAttackStrategy(std::vector<double> placements,
+                                         std::vector<double> probabilities)
+    : placements_(std::move(placements)),
+      probabilities_(std::move(probabilities)) {
+  PG_CHECK(placements_.size() == probabilities_.size(),
+           "MixedAttackStrategy: size mismatch");
+  PG_CHECK(!placements_.empty(), "MixedAttackStrategy: empty support");
+  double total = 0.0;
+  for (std::size_t i = 0; i < placements_.size(); ++i) {
+    PG_CHECK(placements_[i] >= 0.0 && placements_[i] <= 1.0,
+             "placement must be in [0, 1]");
+    PG_CHECK(probabilities_[i] >= 0.0, "probabilities must be non-negative");
+    total += probabilities_[i];
+  }
+  PG_CHECK(std::abs(total - 1.0) <= 1e-9, "probabilities must sum to 1");
+}
+
+AttackAllocation MixedAttackStrategy::sample_allocation(
+    std::size_t n_points, util::Rng& rng) const {
+  std::vector<std::size_t> counts(placements_.size(), 0);
+  for (std::size_t k = 0; k < n_points; ++k) {
+    ++counts[rng.categorical(probabilities_)];
+  }
+  AttackAllocation out;
+  for (std::size_t i = 0; i < placements_.size(); ++i) {
+    if (counts[i] > 0) out.push_back({placements_[i], counts[i]});
+  }
+  return out;
+}
+
+AttackAllocation MixedAttackStrategy::expected_allocation(
+    std::size_t n_points) const {
+  AttackAllocation out;
+  std::size_t assigned = 0;
+  for (std::size_t i = 0; i < placements_.size(); ++i) {
+    const auto n = static_cast<std::size_t>(
+        std::round(probabilities_[i] * static_cast<double>(n_points)));
+    out.push_back({placements_[i], n});
+    assigned += n;
+  }
+  // Put any rounding remainder on the most probable placement.
+  const std::size_t arg_max = static_cast<std::size_t>(
+      std::max_element(probabilities_.begin(), probabilities_.end()) -
+      probabilities_.begin());
+  if (assigned < n_points) {
+    out[arg_max].count += n_points - assigned;
+  } else if (assigned > n_points) {
+    const std::size_t excess = assigned - n_points;
+    out[arg_max].count -= std::min(out[arg_max].count, excess);
+  }
+  return out;
+}
+
+MixedAttack::MixedAttack(MixedAttackStrategy strategy)
+    : strategy_(std::move(strategy)) {}
+
+std::string MixedAttack::name() const {
+  return "mixed(" + std::to_string(strategy_.placements().size()) +
+         " radii)";
+}
+
+data::Dataset MixedAttack::generate(const data::Dataset& clean,
+                                    std::size_t n_points,
+                                    util::Rng& rng) const {
+  return generate_allocation(clean, strategy_.sample_allocation(n_points, rng),
+                             rng);
+}
+
+}  // namespace pg::attack

@@ -1,0 +1,81 @@
+// Mixed attacker strategies: S_a = {[r_1, n_1], ..., [r_m, n_m]}.
+//
+// The paper's attacker chooses a *set* of radii with point counts. In the
+// mixed extension the attacker samples that allocation from a distribution;
+// at equilibrium (section 4.2) he is indifferent among all support points
+// of the defender's strategy, so any allocation over the defender's support
+// is a best response. RadiusAllocation captures one realized S_a, and
+// MixedAttackStrategy a distribution over placements.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "attack/attack.h"
+#include "attack/boundary_attack.h"
+
+namespace pg::attack {
+
+/// One [r_i, n_i] element of S_a, with the radius expressed as a clean
+/// removal fraction (see ClassRadiusMap).
+struct RadiusAllocation {
+  double placement_fraction = 0.0;
+  std::size_t count = 0;
+};
+
+/// A realized attacker pure strategy S_a.
+using AttackAllocation = std::vector<RadiusAllocation>;
+
+/// Generate the poison set for a given S_a: each [r_i, n_i] contributes
+/// n_i boundary-placed points at radius r_i.
+[[nodiscard]] data::Dataset generate_allocation(
+    const data::Dataset& clean, const AttackAllocation& allocation,
+    util::Rng& rng, double safety_margin = 1e-3, double direction_noise = 0.25);
+
+/// Distribution over placement fractions; sampling yields an S_a.
+class MixedAttackStrategy {
+ public:
+  /// Requires equal sizes, probabilities summing to 1 (within 1e-9), and
+  /// placements in [0, 1].
+  MixedAttackStrategy(std::vector<double> placements,
+                      std::vector<double> probabilities);
+
+  [[nodiscard]] const std::vector<double>& placements() const noexcept {
+    return placements_;
+  }
+  [[nodiscard]] const std::vector<double>& probabilities() const noexcept {
+    return probabilities_;
+  }
+
+  /// Multinomially allocate a budget of N points across the placements.
+  [[nodiscard]] AttackAllocation sample_allocation(std::size_t n_points,
+                                                   util::Rng& rng) const;
+
+  /// Deterministic expected allocation (n_i = round(N * prob_i), with the
+  /// remainder assigned to the largest-probability placement).
+  [[nodiscard]] AttackAllocation expected_allocation(
+      std::size_t n_points) const;
+
+ private:
+  std::vector<double> placements_;
+  std::vector<double> probabilities_;
+};
+
+/// PoisoningAttack adapter: samples an S_a from a mixed strategy and
+/// generates the corresponding boundary placements.
+class MixedAttack final : public PoisoningAttack {
+ public:
+  explicit MixedAttack(MixedAttackStrategy strategy);
+
+  [[nodiscard]] data::Dataset generate(const data::Dataset& clean,
+                                       std::size_t n_points,
+                                       util::Rng& rng) const override;
+
+  [[nodiscard]] std::string name() const override;
+
+ private:
+  MixedAttackStrategy strategy_;
+};
+
+}  // namespace pg::attack

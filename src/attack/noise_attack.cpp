@@ -1,0 +1,35 @@
+#include "attack/noise_attack.h"
+
+#include <cmath>
+
+#include "la/vector_ops.h"
+#include "util/error.h"
+#include "util/stats.h"
+
+namespace pg::attack {
+
+NoiseAttack::NoiseAttack(NoiseAttackConfig config) : config_(config) {
+  PG_CHECK(config_.scale > 0.0, "NoiseAttack: scale must be > 0");
+}
+
+std::string NoiseAttack::name() const { return "noise"; }
+
+data::Dataset NoiseAttack::generate(const data::Dataset& clean,
+                                    std::size_t n_points,
+                                    util::Rng& rng) const {
+  PG_CHECK(!clean.empty(), "NoiseAttack: empty clean dataset");
+  data::Dataset poison;
+  for (std::size_t k = 0; k < n_points; ++k) {
+    const int label = (k % 2 == 0) ? 1 : -1;
+    const la::Vector centroid = clean.class_mean(label);
+    const double spread =
+        util::mean(clean.distances_to(centroid, label)) * config_.scale /
+        std::sqrt(static_cast<double>(clean.dim()));
+    la::Vector x = centroid;
+    for (double& v : x) v += rng.normal(0.0, spread);
+    poison.append(x, label);
+  }
+  return poison;
+}
+
+}  // namespace pg::attack

@@ -1,0 +1,31 @@
+// Random-noise poisoning: uniformly mislabeled Gaussian noise around the
+// data centroid. The weakest baseline -- it mostly measures the victim
+// model's intrinsic robustness and calibrates the low end of E(p).
+#pragma once
+
+#include <string>
+
+#include "attack/attack.h"
+
+namespace pg::attack {
+
+struct NoiseAttackConfig {
+  /// Noise scale as a multiple of the per-class mean distance-to-centroid.
+  double scale = 1.0;
+};
+
+class NoiseAttack final : public PoisoningAttack {
+ public:
+  explicit NoiseAttack(NoiseAttackConfig config = {});
+
+  [[nodiscard]] data::Dataset generate(const data::Dataset& clean,
+                                       std::size_t n_points,
+                                       util::Rng& rng) const override;
+
+  [[nodiscard]] std::string name() const override;
+
+ private:
+  NoiseAttackConfig config_;
+};
+
+}  // namespace pg::attack

@@ -1,0 +1,45 @@
+// Attacker-side equilibrium extraction.
+//
+// The paper's Algorithm 1 computes only the defender's mixed strategy; the
+// attacker's equilibrium mixture is implicit. This module recovers it two
+// ways:
+//  (1) exactly, as the row strategy of the discretized game's LP solution;
+//  (2) structurally, from the defender's strategy: at equilibrium the
+//      attacker randomizes over the defender's support so that the
+//      defender is indifferent among her support filters, mirroring
+//      condition 2 of section 4.2 with the roles swapped.
+// Both are exposed so tests can confirm they agree (up to discretization).
+#pragma once
+
+#include "attack/mixed_attack.h"
+#include "core/game_model.h"
+#include "defense/mixed_defense.h"
+
+namespace pg::core {
+
+struct AttackerEquilibrium {
+  attack::MixedAttackStrategy strategy;
+  double game_value = 0.0;  // attacker payoff at the equilibrium
+};
+
+/// (1) Exact route: solve the discretized game by LP and compress the row
+/// strategy's support (probability mass below `mass_floor` is dropped and
+/// the remainder renormalized).
+[[nodiscard]] AttackerEquilibrium attacker_equilibrium_lp(
+    const PoisoningGame& game, std::size_t grid = 128,
+    double mass_floor = 1e-6);
+
+/// (2) Structural route: given the defender's equilibrium support
+/// p_1 < ... < p_n with probabilities q, the defender is indifferent
+/// between adjacent filters iff the attacker's mass a_i at placement p_i
+/// satisfies, for i = 1..n-1,
+///     a_i * N * E(p_i) = Gamma(p_{i+1}) - Gamma(p_i)
+/// (moving the filter from p_i to p_{i+1} kills the mass at p_i but costs
+/// the Gamma increment), with the remaining mass at p_n. Requires a
+/// properly mixed defender strategy over a region where E > floor.
+/// Masses are clamped to [0, remaining] and renormalized.
+[[nodiscard]] AttackerEquilibrium attacker_equilibrium_structural(
+    const PoisoningGame& game,
+    const defense::MixedDefenseStrategy& defender, double damage_floor = 1e-6);
+
+}  // namespace pg::core

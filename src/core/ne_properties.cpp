@@ -1,0 +1,77 @@
+#include "core/ne_properties.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "game/pure_ne.h"
+#include "util/error.h"
+
+namespace pg::core {
+
+PureNeReport analyze_pure_equilibria(const PoisoningGame& game,
+                                     std::size_t grid) {
+  const game::MatrixGame mg = game.discretize(grid, grid);
+  PureNeReport report;
+  report.maximin = mg.maximin_value();
+  report.minimax = mg.minimax_value();
+  report.gap = report.minimax - report.maximin;
+  report.saddle_points = game::find_pure_equilibria(mg, 1e-12).size();
+  return report;
+}
+
+IndifferenceReport check_indifference(
+    const PoisoningGame& game, const defense::MixedDefenseStrategy& strategy,
+    double tolerance) {
+  IndifferenceReport report;
+  report.properly_mixed = strategy.is_properly_mixed();
+
+  const auto& fractions = strategy.removal_fractions();
+  const auto& probs = strategy.probabilities();
+  double mean = 0.0;
+  std::size_t counted = 0;
+  for (std::size_t i = 0; i < fractions.size(); ++i) {
+    if (probs[i] <= 1e-12) continue;  // not in the effective support
+    const double q = strategy.survival_probability(fractions[i]);
+    const double product = game.curves().damage(fractions[i]) * q;
+    report.products.push_back(product);
+    mean += product;
+    ++counted;
+  }
+  if (counted == 0) return report;
+  mean /= static_cast<double>(counted);
+  double spread = 0.0;
+  for (double p : report.products) {
+    spread = std::max(spread, std::abs(p - mean));
+  }
+  report.relative_spread = (mean > 0.0) ? spread / mean : spread;
+  report.indifferent = report.relative_spread <= tolerance;
+  return report;
+}
+
+ExploitabilityReport attacker_exploitability(
+    const PoisoningGame& game, const defense::MixedDefenseStrategy& strategy,
+    std::size_t grid) {
+  PG_CHECK(grid >= 2, "grid must be >= 2");
+  ExploitabilityReport report;
+
+  const double n = static_cast<double>(game.poison_budget());
+  // Indifference value: any support placement; use the strongest filter
+  // point, whose survival probability is 1.
+  const double p_last = strategy.removal_fractions().back();
+  report.equilibrium_damage = n * game.curves().damage(p_last);
+
+  const double hi = game.curves().max_fraction();
+  for (std::size_t i = 0; i < grid; ++i) {
+    const double psi =
+        hi * static_cast<double>(i) / static_cast<double>(grid - 1);
+    const double damage = n * game.curves().damage(psi) *
+                          strategy.survival_probability(psi);
+    report.best_deviation_damage =
+        std::max(report.best_deviation_damage, damage);
+  }
+  report.gain =
+      std::max(0.0, report.best_deviation_damage - report.equilibrium_damage);
+  return report;
+}
+
+}  // namespace pg::core

@@ -1,0 +1,63 @@
+#include "core/payoff.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.h"
+
+namespace pg::core {
+
+PayoffCurves::PayoffCurves(util::PiecewiseLinear damage,
+                           util::PiecewiseLinear cost)
+    : damage_(std::move(damage)), cost_(std::move(cost)) {
+  PG_CHECK(!damage_.empty() && !cost_.empty(),
+           "PayoffCurves: curves must be non-empty");
+}
+
+PayoffCurves PayoffCurves::analytic(double e0, double damage_power, double g0,
+                                    double cost_power, std::size_t knots) {
+  PG_CHECK(e0 > 0.0 && g0 > 0.0, "analytic: e0 and g0 must be > 0");
+  PG_CHECK(damage_power > 0.0 && cost_power > 0.0,
+           "analytic: powers must be > 0");
+  PG_CHECK(knots >= 2, "analytic: need >= 2 knots");
+  std::vector<double> xs(knots);
+  std::vector<double> es(knots);
+  std::vector<double> gs(knots);
+  for (std::size_t i = 0; i < knots; ++i) {
+    const double p =
+        static_cast<double>(i) / static_cast<double>(knots - 1);
+    xs[i] = p;
+    es[i] = e0 * std::pow(1.0 - p, damage_power);
+    gs[i] = g0 * std::pow(p, cost_power);
+  }
+  return PayoffCurves(util::PiecewiseLinear(xs, es),
+                      util::PiecewiseLinear(xs, gs));
+}
+
+double PayoffCurves::damage(double p) const {
+  PG_CHECK(!damage_.empty(), "PayoffCurves not initialized");
+  return damage_(p);
+}
+
+double PayoffCurves::cost(double p) const {
+  PG_CHECK(!cost_.empty(), "PayoffCurves not initialized");
+  return cost_(p);
+}
+
+double PayoffCurves::max_fraction() const {
+  PG_CHECK(!damage_.empty(), "PayoffCurves not initialized");
+  return std::min(damage_.x_max(), cost_.x_max());
+}
+
+double PayoffCurves::damage_support_limit(double floor) const {
+  PG_CHECK(!damage_.empty(), "PayoffCurves not initialized");
+  const double hi = max_fraction();
+  double limit = 0.0;
+  constexpr double kStep = 1e-3;
+  for (double p = 0.0; p <= hi + 1e-12; p += kStep) {
+    if (damage_(p) > floor) limit = p;
+  }
+  return limit;
+}
+
+}  // namespace pg::core

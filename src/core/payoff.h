@@ -1,0 +1,64 @@
+// The game's payoff primitives: E(p) and Gamma(p).
+//
+// Everything in the paper's analysis reduces to two one-dimensional curves
+// over the removal fraction p in [0, 1]:
+//   E(p)     -- the maximum accuracy damage ONE surviving poison point can
+//               cause when placed at the radius whose clean removal
+//               fraction is p. Decreasing: points forced closer to the
+//               centroid are less harmful. (Paper: E(r_i, n_i) with
+//               E assumed additive in n_i.)
+//   Gamma(p) -- the defender's accuracy cost of removing a p-fraction of
+//               genuine points. Increasing from Gamma(0) = 0.
+// The experiment harness measures both from the Fig.-1 sweep
+// (sim/curve_fit.h); analytic factories below support closed-form tests.
+#pragma once
+
+#include <vector>
+
+#include "util/interp.h"
+
+namespace pg::core {
+
+class PayoffCurves {
+ public:
+  PayoffCurves() = default;
+
+  /// Build from measured knots. Both curves share the domain [0, max p].
+  /// Requires >= 2 knots each and strictly increasing xs.
+  PayoffCurves(util::PiecewiseLinear damage, util::PiecewiseLinear cost);
+
+  /// Analytic family used by unit/property tests and the solver ablation:
+  ///   E(p)     = e0 * (1 - p)^damage_power      (decreasing, E(1) = 0)
+  ///   Gamma(p) = g0 * p^cost_power              (increasing, Gamma(0) = 0)
+  /// sampled on `knots` points. Requires e0 > 0, g0 > 0, knots >= 2.
+  [[nodiscard]] static PayoffCurves analytic(double e0, double damage_power,
+                                             double g0, double cost_power,
+                                             std::size_t knots = 101);
+
+  /// Per-point damage at placement p (clamped to the knot domain).
+  [[nodiscard]] double damage(double p) const;
+
+  /// Genuine-removal cost at filter strength p.
+  [[nodiscard]] double cost(double p) const;
+
+  [[nodiscard]] const util::PiecewiseLinear& damage_curve() const noexcept {
+    return damage_;
+  }
+  [[nodiscard]] const util::PiecewiseLinear& cost_curve() const noexcept {
+    return cost_;
+  }
+
+  /// Largest p in the curves' common domain.
+  [[nodiscard]] double max_fraction() const;
+
+  /// Largest p such that damage(p) > floor (scan resolution 1e-3); the
+  /// attacker never places beyond it, so Algorithm 1 restricts its support
+  /// search to [0, this]. Returns 0 if damage never exceeds the floor.
+  [[nodiscard]] double damage_support_limit(double floor = 1e-6) const;
+
+ private:
+  util::PiecewiseLinear damage_;
+  util::PiecewiseLinear cost_;
+};
+
+}  // namespace pg::core

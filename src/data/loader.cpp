@@ -1,0 +1,48 @@
+#include "data/loader.h"
+
+#include "util/csv.h"
+#include "util/error.h"
+#include "util/logging.h"
+
+namespace pg::data {
+
+Dataset load_spambase(const std::string& path) {
+  const auto rows = util::load_numeric_csv(path);
+  PG_CHECK(!rows.empty(), "spambase file is empty: " + path);
+  PG_CHECK(rows.front().size() == 58,
+           "spambase rows must have 58 columns (57 features + label)");
+  Dataset out;
+  for (const auto& row : rows) {
+    la::Vector x(row.begin(), row.end() - 1);
+    const double raw_label = row.back();
+    PG_CHECK(raw_label == 0.0 || raw_label == 1.0,
+             "spambase label must be 0 or 1");
+    out.append(x, raw_label == 1.0 ? 1 : -1);
+  }
+  return out;
+}
+
+CorpusInfo load_or_generate_spambase(
+    const std::vector<std::string>& candidate_paths,
+    const SpambaseLikeConfig& config, util::Rng& rng) {
+  for (const auto& path : candidate_paths) {
+    if (!util::file_exists(path)) continue;
+    try {
+      CorpusInfo info{load_spambase(path), false, path};
+      util::log_info() << "loaded real Spambase corpus from " << path;
+      return info;
+    } catch (const std::exception& e) {
+      util::log_warn() << "failed to load " << path << ": " << e.what()
+                       << "; trying next candidate";
+    }
+  }
+  util::log_info() << "no spambase.data found; using synthetic substitute";
+  return {make_spambase_like(config, rng), true, "synthetic"};
+}
+
+std::vector<std::string> default_spambase_paths() {
+  return {"data/spambase.data", "../data/spambase.data",
+          "../../data/spambase.data"};
+}
+
+}  // namespace pg::data

@@ -1,0 +1,36 @@
+// Spambase corpus acquisition: load the real UCI file when present,
+// otherwise fall back to the synthetic substitute (see synthetic.h and
+// DESIGN.md section 4).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "data/synthetic.h"
+#include "util/rng.h"
+
+namespace pg::data {
+
+/// Parse a UCI spambase.data file: 58 comma-separated numeric columns, the
+/// last being the 0/1 spam label (mapped here to -1/+1). Throws on I/O or
+/// format errors.
+[[nodiscard]] Dataset load_spambase(const std::string& path);
+
+/// Result of acquiring the experiment corpus.
+struct CorpusInfo {
+  Dataset data;
+  bool synthetic = false;   // true when the generator was used
+  std::string source;       // file path or "synthetic"
+};
+
+/// Try the given candidate paths for a real spambase.data; on failure,
+/// generate the Spambase-like substitute with the given config.
+[[nodiscard]] CorpusInfo load_or_generate_spambase(
+    const std::vector<std::string>& candidate_paths,
+    const SpambaseLikeConfig& config, util::Rng& rng);
+
+/// Default candidate locations relative to the working directory.
+[[nodiscard]] std::vector<std::string> default_spambase_paths();
+
+}  // namespace pg::data

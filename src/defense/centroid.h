@@ -1,0 +1,36 @@
+// Robust centroid estimation.
+//
+// The paper's filter is centered on the class centroid of the *poisoned*
+// training set; section 3.1 argues the defense remains valid "as long as
+// the defender uses a good method to find the centroid (i.e. a method less
+// affected by the outliers)". The centroid-ablation bench quantifies that
+// claim: under a 20% boundary attack the coordinate-median and trimmed
+// mean drift far less than the mean.
+#pragma once
+
+#include "data/dataset.h"
+#include "la/vector_ops.h"
+
+namespace pg::defense {
+
+enum class CentroidMethod {
+  kMean,
+  kCoordinateMedian,
+  kTrimmedMean  // per-coordinate mean of the central (1 - 2*trim) mass
+};
+
+struct CentroidConfig {
+  CentroidMethod method = CentroidMethod::kCoordinateMedian;
+  /// Per-tail trim fraction for kTrimmedMean; in [0, 0.5).
+  double trim_fraction = 0.1;
+};
+
+/// Centroid of the instances with the given label. Requires at least one
+/// such instance (and for kTrimmedMean a valid trim fraction).
+[[nodiscard]] la::Vector compute_centroid(const data::Dataset& d, int label,
+                                          const CentroidConfig& config);
+
+/// Human-readable name for reports.
+[[nodiscard]] const char* centroid_method_name(CentroidMethod m) noexcept;
+
+}  // namespace pg::defense

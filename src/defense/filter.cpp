@@ -1,0 +1,29 @@
+#include "defense/filter.h"
+
+#include "util/error.h"
+
+namespace pg::defense {
+
+DetectionScore score_detection(const FilterResult& result,
+                               std::size_t input_size,
+                               std::size_t first_poison_index) {
+  PG_CHECK(first_poison_index <= input_size,
+           "first_poison_index out of range");
+  DetectionScore s;
+  s.removed = result.removed_indices.size();
+  s.poison_total = input_size - first_poison_index;
+  std::size_t poison_removed = 0;
+  for (std::size_t i : result.removed_indices) {
+    PG_CHECK(i < input_size, "removed index out of range");
+    if (i >= first_poison_index) ++poison_removed;
+  }
+  s.precision = s.removed == 0 ? 0.0
+                               : static_cast<double>(poison_removed) /
+                                     static_cast<double>(s.removed);
+  s.recall = s.poison_total == 0 ? 0.0
+                                 : static_cast<double>(poison_removed) /
+                                       static_cast<double>(s.poison_total);
+  return s;
+}
+
+}  // namespace pg::defense

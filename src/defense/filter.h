@@ -1,0 +1,59 @@
+// Sanitization filter interface.
+//
+// A filter maps a (possibly poisoned) training set to the subset it keeps.
+// FilterResult also reports which indices were removed so experiments can
+// score precision/recall of poison detection.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "util/rng.h"
+
+namespace pg::defense {
+
+struct FilterResult {
+  data::Dataset kept;
+  std::vector<std::size_t> removed_indices;  // into the input dataset
+
+  [[nodiscard]] double removed_fraction(std::size_t input_size) const {
+    return input_size == 0
+               ? 0.0
+               : static_cast<double>(removed_indices.size()) /
+                     static_cast<double>(input_size);
+  }
+};
+
+class Filter {
+ public:
+  virtual ~Filter() = default;
+
+  /// Apply the filter. Must not mutate the input. Implementations that are
+  /// stochastic (e.g. RONI's fold assignment) draw from `rng`.
+  [[nodiscard]] virtual FilterResult apply(const data::Dataset& train,
+                                           util::Rng& rng) const = 0;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// Score of a filter run against known poison indices: how many of the
+/// removed points were actually poison (precision) and how much of the
+/// poison was removed (recall).
+struct DetectionScore {
+  double precision = 0.0;
+  double recall = 0.0;
+  std::size_t removed = 0;
+  std::size_t poison_total = 0;
+};
+
+/// Computes the detection score given that instances with index >=
+/// first_poison_index are poison (the experiment harness always appends
+/// poison after the clean data).
+[[nodiscard]] DetectionScore score_detection(const FilterResult& result,
+                                             std::size_t input_size,
+                                             std::size_t first_poison_index);
+
+}  // namespace pg::defense

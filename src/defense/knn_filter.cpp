@@ -1,0 +1,73 @@
+#include "defense/knn_filter.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "la/vector_ops.h"
+#include "util/error.h"
+
+namespace pg::defense {
+
+KnnFilter::KnnFilter(KnnFilterConfig config) : config_(config) {
+  PG_CHECK(config_.k >= 1, "KnnFilter: k must be >= 1");
+  PG_CHECK(config_.agreement_threshold >= 0.0 &&
+               config_.agreement_threshold <= 1.0,
+           "agreement_threshold must be in [0, 1]");
+}
+
+std::string KnnFilter::name() const {
+  return "knn(k=" + std::to_string(config_.k) + ")";
+}
+
+FilterResult KnnFilter::apply(const data::Dataset& train,
+                              util::Rng& /*rng*/) const {
+  PG_CHECK(!train.empty(), "KnnFilter: empty dataset");
+  const std::size_t n = train.size();
+  const std::size_t k = std::min(config_.k, n - 1);
+
+  FilterResult result;
+  if (k == 0) {
+    result.kept = train;
+    return result;
+  }
+
+  std::vector<std::size_t> kept_idx;
+  std::vector<std::pair<double, std::size_t>> heap;  // (distance, index)
+  for (std::size_t i = 0; i < n; ++i) {
+    const la::Vector xi = train.instance(i);
+    heap.clear();
+    for (std::size_t j = 0; j < n; ++j) {
+      if (j == i) continue;
+      const double d = la::distance(xi, train.instance(j));
+      if (heap.size() < k) {
+        heap.emplace_back(d, j);
+        std::push_heap(heap.begin(), heap.end());
+      } else if (d < heap.front().first) {
+        std::pop_heap(heap.begin(), heap.end());
+        heap.back() = {d, j};
+        std::push_heap(heap.begin(), heap.end());
+      }
+    }
+    std::size_t agree = 0;
+    for (const auto& [d, j] : heap) {
+      if (train.label(j) == train.label(i)) ++agree;
+    }
+    const double agreement =
+        static_cast<double>(agree) / static_cast<double>(heap.size());
+    if (agreement >= config_.agreement_threshold) {
+      kept_idx.push_back(i);
+    } else {
+      result.removed_indices.push_back(i);
+    }
+  }
+
+  if (kept_idx.empty()) {
+    result.kept = train;
+    result.removed_indices.clear();
+    return result;
+  }
+  result.kept = train.select(kept_idx);
+  return result;
+}
+
+}  // namespace pg::defense

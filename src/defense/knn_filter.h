@@ -1,0 +1,35 @@
+// k-NN label-consistency sanitizer (Paudice et al. style baseline).
+//
+// A point is suspicious when too few of its k nearest neighbours share its
+// label. This catches flipped-label poison that sits deep inside the
+// opposite class but is blind to attacks that cluster poison together --
+// a weakness the defense-ablation bench demonstrates.
+#pragma once
+
+#include <string>
+
+#include "defense/filter.h"
+
+namespace pg::defense {
+
+struct KnnFilterConfig {
+  std::size_t k = 10;
+  /// Minimum fraction of same-label neighbours required to keep a point,
+  /// in [0, 1].
+  double agreement_threshold = 0.5;
+};
+
+class KnnFilter final : public Filter {
+ public:
+  explicit KnnFilter(KnnFilterConfig config);
+
+  [[nodiscard]] FilterResult apply(const data::Dataset& train,
+                                   util::Rng& rng) const override;
+
+  [[nodiscard]] std::string name() const override;
+
+ private:
+  KnnFilterConfig config_;
+};
+
+}  // namespace pg::defense

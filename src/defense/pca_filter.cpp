@@ -1,0 +1,65 @@
+#include "defense/pca_filter.h"
+
+#include <algorithm>
+
+#include "la/eigen.h"
+#include "la/vector_ops.h"
+#include "util/error.h"
+#include "util/stats.h"
+
+namespace pg::defense {
+
+PcaFilter::PcaFilter(PcaFilterConfig config) : config_(config) {
+  PG_CHECK(config_.components >= 1, "PcaFilter: components must be >= 1");
+  PG_CHECK(config_.removal_fraction >= 0.0 && config_.removal_fraction < 1.0,
+           "removal_fraction must be in [0, 1)");
+}
+
+std::string PcaFilter::name() const {
+  return "pca(k=" + std::to_string(config_.components) +
+         ",p=" + std::to_string(config_.removal_fraction) + ")";
+}
+
+FilterResult PcaFilter::apply(const data::Dataset& train,
+                              util::Rng& rng) const {
+  PG_CHECK(!train.empty(), "PcaFilter: empty dataset");
+  FilterResult result;
+  if (config_.removal_fraction == 0.0 || train.size() < 3) {
+    result.kept = train;
+    return result;
+  }
+
+  const std::size_t k = std::min(config_.components, train.dim());
+  const la::Matrix cov = train.features().covariance();
+  la::PowerIterationConfig pic;
+  pic.max_iters = config_.max_power_iters;
+  const auto basis = la::top_eigenpairs(cov, k, rng, pic);
+  const la::Vector mu = train.features().column_means();
+
+  std::vector<double> residual(train.size());
+  for (std::size_t i = 0; i < train.size(); ++i) {
+    const la::Vector centered = la::subtract(train.instance(i), mu);
+    const la::Vector proj = la::project_onto_basis(centered, basis);
+    residual[i] = la::distance(centered, proj);
+  }
+
+  const double threshold =
+      util::quantile(residual, 1.0 - config_.removal_fraction);
+  std::vector<std::size_t> kept_idx;
+  for (std::size_t i = 0; i < train.size(); ++i) {
+    if (residual[i] > threshold) {
+      result.removed_indices.push_back(i);
+    } else {
+      kept_idx.push_back(i);
+    }
+  }
+  if (kept_idx.empty()) {
+    result.kept = train;
+    result.removed_indices.clear();
+    return result;
+  }
+  result.kept = train.select(kept_idx);
+  return result;
+}
+
+}  // namespace pg::defense

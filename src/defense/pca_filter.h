@@ -1,0 +1,38 @@
+// PCA reconstruction-error sanitizer (Rubinstein et al. "ANTIDOTE" style
+// baseline).
+//
+// Fits the top-k principal subspace of the (poisoned) training features
+// and removes the points whose residual distance to the subspace is in the
+// top `removal_fraction` quantile. Poison placed off the data manifold has
+// large residuals even when it is close to the class centroid.
+#pragma once
+
+#include <string>
+
+#include "defense/filter.h"
+
+namespace pg::defense {
+
+struct PcaFilterConfig {
+  std::size_t components = 5;
+  /// Fraction of points removed (largest residuals), in [0, 1).
+  double removal_fraction = 0.1;
+  /// Seed salt for the power-iteration start vectors (results are
+  /// deterministic given the filter's rng).
+  std::size_t max_power_iters = 500;
+};
+
+class PcaFilter final : public Filter {
+ public:
+  explicit PcaFilter(PcaFilterConfig config);
+
+  [[nodiscard]] FilterResult apply(const data::Dataset& train,
+                                   util::Rng& rng) const override;
+
+  [[nodiscard]] std::string name() const override;
+
+ private:
+  PcaFilterConfig config_;
+};
+
+}  // namespace pg::defense

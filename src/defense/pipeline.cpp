@@ -1,0 +1,53 @@
+#include "defense/pipeline.h"
+
+#include "data/scaler.h"
+#include "ml/metrics.h"
+#include "util/error.h"
+
+namespace pg::defense {
+
+Pipeline::Pipeline(PipelineConfig config) : config_(config) {}
+
+PipelineResult Pipeline::run(const data::Dataset& clean_train,
+                             const data::Dataset& test,
+                             const attack::PoisoningAttack* attack,
+                             std::size_t poison_points, const Filter* filter,
+                             util::Rng& rng) const {
+  PG_CHECK(!clean_train.empty(), "Pipeline: empty training data");
+  PG_CHECK(!test.empty(), "Pipeline: empty test data");
+
+  data::Dataset train = clean_train;
+  if (attack != nullptr && poison_points > 0) {
+    util::Rng attack_rng = rng.fork(1);
+    const data::Dataset poison =
+        attack->generate(clean_train, poison_points, attack_rng);
+    train = data::concatenate(clean_train, poison);
+  }
+
+  PipelineResult result;
+  FilterResult filtered;
+  if (filter != nullptr) {
+    util::Rng filter_rng = rng.fork(2);
+    filtered = filter->apply(train, filter_rng);
+    result.detection =
+        score_detection(filtered, train.size(), clean_train.size());
+  } else {
+    filtered.kept = train;
+  }
+  result.train_size = filtered.kept.size();
+
+  util::Rng train_rng = rng.fork(3);
+  const ml::SvmTrainer trainer(config_.svm);
+  if (config_.standardize && filtered.kept.size() >= 2) {
+    data::StandardScaler scaler;
+    scaler.fit(filtered.kept);
+    result.model = trainer.train(scaler.transform(filtered.kept), train_rng);
+    result.test_accuracy = ml::accuracy(result.model, scaler.transform(test));
+  } else {
+    result.model = trainer.train(filtered.kept, train_rng);
+    result.test_accuracy = ml::accuracy(result.model, test);
+  }
+  return result;
+}
+
+}  // namespace pg::defense

@@ -1,0 +1,100 @@
+#include "defense/roni.h"
+
+#include <algorithm>
+
+#include "ml/metrics.h"
+#include "util/error.h"
+
+namespace pg::defense {
+
+RoniFilter::RoniFilter(RoniConfig config) : config_(config) {
+  PG_CHECK(config_.trusted_fraction > 0.0 && config_.trusted_fraction < 1.0,
+           "trusted_fraction must be in (0, 1)");
+  PG_CHECK(config_.batch_size >= 1, "batch_size must be >= 1");
+  PG_CHECK(config_.tolerance >= 0.0, "tolerance must be >= 0");
+}
+
+std::string RoniFilter::name() const {
+  return "roni(batch=" + std::to_string(config_.batch_size) + ")";
+}
+
+FilterResult RoniFilter::apply(const data::Dataset& train,
+                               util::Rng& rng) const {
+  PG_CHECK(!train.empty(), "RoniFilter: empty dataset");
+  const std::size_t n = train.size();
+
+  FilterResult result;
+  const auto n_trusted = static_cast<std::size_t>(
+      config_.trusted_fraction * static_cast<double>(n));
+  if (n_trusted < 4 || n - n_trusted < config_.batch_size) {
+    result.kept = train;  // too small to run RONI meaningfully
+    return result;
+  }
+
+  // Sample the trusted pool; half becomes the training base, half the
+  // calibration (holdout) set.
+  std::vector<std::size_t> trusted = rng.sample_without_replacement(n, n_trusted);
+  std::sort(trusted.begin(), trusted.end());
+  std::vector<bool> is_trusted(n, false);
+  for (std::size_t i : trusted) is_trusted[i] = true;
+
+  std::vector<std::size_t> base_idx;
+  std::vector<std::size_t> calib_idx;
+  for (std::size_t k = 0; k < trusted.size(); ++k) {
+    (k % 2 == 0 ? base_idx : calib_idx).push_back(trusted[k]);
+  }
+  data::Dataset base = train.select(base_idx);
+  const data::Dataset calib = train.select(calib_idx);
+  // The calibration set must contain both classes to measure accuracy
+  // drops; otherwise accept everything (RONI is undefined).
+  if (calib.count_label(1) == 0 || calib.count_label(-1) == 0 ||
+      base.count_label(1) == 0 || base.count_label(-1) == 0) {
+    result.kept = train;
+    return result;
+  }
+
+  const ml::SvmTrainer trainer(config_.svm);
+  util::Rng base_rng = rng.fork(17);
+  ml::LinearModel base_model = trainer.train(base, base_rng);
+  double base_acc = ml::accuracy(base_model, calib);
+
+  std::vector<std::size_t> candidates;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!is_trusted[i]) candidates.push_back(i);
+  }
+  rng.shuffle(candidates);
+
+  std::vector<std::size_t> kept_idx(trusted.begin(), trusted.end());
+  for (std::size_t start = 0; start < candidates.size();
+       start += config_.batch_size) {
+    const std::size_t end =
+        std::min(candidates.size(), start + config_.batch_size);
+    data::Dataset with_batch = base;
+    for (std::size_t k = start; k < end; ++k) {
+      with_batch.append(train.instance(candidates[k]),
+                        train.label(candidates[k]));
+    }
+    util::Rng batch_rng = rng.fork(100 + start);
+    const ml::LinearModel m = trainer.train(with_batch, batch_rng);
+    const double acc = ml::accuracy(m, calib);
+    if (acc + config_.tolerance >= base_acc) {
+      // Accept: batch joins the base (incremental RONI).
+      for (std::size_t k = start; k < end; ++k) {
+        kept_idx.push_back(candidates[k]);
+      }
+      base = std::move(with_batch);
+      base_acc = std::max(base_acc, acc);
+    } else {
+      for (std::size_t k = start; k < end; ++k) {
+        result.removed_indices.push_back(candidates[k]);
+      }
+    }
+  }
+
+  std::sort(kept_idx.begin(), kept_idx.end());
+  std::sort(result.removed_indices.begin(), result.removed_indices.end());
+  result.kept = train.select(kept_idx);
+  return result;
+}
+
+}  // namespace pg::defense

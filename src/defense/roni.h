@@ -1,0 +1,46 @@
+// Reject On Negative Impact (Nelson et al.) baseline sanitizer.
+//
+// Candidate batches are accepted only if adding them to a trusted base set
+// does not reduce accuracy on a held-out calibration set by more than a
+// tolerance. Expensive (one model retraining per batch) but attack-
+// agnostic; the defense-ablation bench includes it as the classic
+// sanitization comparator.
+#pragma once
+
+#include <string>
+
+#include "defense/filter.h"
+#include "ml/svm.h"
+
+namespace pg::defense {
+
+struct RoniConfig {
+  /// Fraction of the input treated as the trusted base + calibration sets
+  /// (sampled uniformly; the paper's RONI assumes some trusted data).
+  double trusted_fraction = 0.2;
+  /// Candidates are evaluated in batches of this size (1 = pure RONI;
+  /// larger batches trade fidelity for speed).
+  std::size_t batch_size = 32;
+  /// Maximum tolerated accuracy drop when accepting a batch. Must absorb
+  /// the SGD noise of two cheap trainings, or genuine batches get
+  /// rejected wholesale.
+  double tolerance = 0.01;
+  /// Trainer used for the impact measurements (cheap settings: RONI
+  /// retrains O(n / batch_size) times).
+  ml::SvmConfig svm{.epochs = 30, .lambda = 1e-4, .average = true};
+};
+
+class RoniFilter final : public Filter {
+ public:
+  explicit RoniFilter(RoniConfig config);
+
+  [[nodiscard]] FilterResult apply(const data::Dataset& train,
+                                   util::Rng& rng) const override;
+
+  [[nodiscard]] std::string name() const override;
+
+ private:
+  RoniConfig config_;
+};
+
+}  // namespace pg::defense

@@ -1,0 +1,33 @@
+#include "game/best_response.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace pg::game {
+
+BestResponse best_row_response(const MatrixGame& game,
+                               const MixedStrategy& col_strategy) {
+  const auto payoffs = game.row_payoffs(col_strategy);
+  const auto it = std::max_element(payoffs.begin(), payoffs.end());
+  return {static_cast<std::size_t>(it - payoffs.begin()), *it};
+}
+
+BestResponse best_col_response(const MatrixGame& game,
+                               const MixedStrategy& row_strategy) {
+  const auto payoffs = game.col_payoffs(row_strategy);
+  const auto it = std::min_element(payoffs.begin(), payoffs.end());
+  return {static_cast<std::size_t>(it - payoffs.begin()), *it};
+}
+
+double exploitability(const MatrixGame& game,
+                      const MixedStrategy& row_strategy,
+                      const MixedStrategy& col_strategy) {
+  const double u = game.expected_payoff(row_strategy, col_strategy);
+  const double row_gain = best_row_response(game, col_strategy).payoff - u;
+  const double col_gain = u - best_col_response(game, row_strategy).payoff;
+  // Each term is >= 0 up to fp rounding.
+  return std::max(0.0, row_gain) + std::max(0.0, col_gain);
+}
+
+}  // namespace pg::game

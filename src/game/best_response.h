@@ -1,0 +1,36 @@
+// Best responses and exploitability.
+//
+// Exploitability (the "Nash gap") is the library's universal equilibrium
+// quality metric: it is zero exactly at an equilibrium and upper-bounds how
+// much either player gains by deviating. The mixed-defense evaluation uses
+// it to confirm Algorithm 1's output is near-optimal against a rational
+// attacker.
+#pragma once
+
+#include <cstddef>
+
+#include "game/matrix_game.h"
+
+namespace pg::game {
+
+struct BestResponse {
+  std::size_t action = 0;
+  double payoff = 0.0;  // payoff to the responding player's objective
+};
+
+/// Row player's best pure response to a column mixture (max payoff).
+[[nodiscard]] BestResponse best_row_response(const MatrixGame& game,
+                                             const MixedStrategy& col_strategy);
+
+/// Column player's best pure response to a row mixture (min payoff,
+/// reported as the row-player payoff it induces).
+[[nodiscard]] BestResponse best_col_response(const MatrixGame& game,
+                                             const MixedStrategy& row_strategy);
+
+/// exploitability(p, q) = [max_i u(i, q) - u(p, q)] + [u(p, q) - min_j u(p, j)]
+/// Non-negative; zero iff (p, q) is an equilibrium.
+[[nodiscard]] double exploitability(const MatrixGame& game,
+                                    const MixedStrategy& row_strategy,
+                                    const MixedStrategy& col_strategy);
+
+}  // namespace pg::game

@@ -1,0 +1,41 @@
+// Dense primal simplex solver for linear programs in the canonical form
+//
+//   maximize    c^T x
+//   subject to  A x <= b,   x >= 0,   with b >= 0
+//
+// b >= 0 makes the all-slack basis feasible, which is all the library
+// needs: the zero-sum matrix-game reduction produces exactly this form
+// (constraints B z <= 1 after shifting the payoff matrix positive).
+// Bland's anti-cycling rule guarantees termination. The dual solution is
+// recovered from the reduced costs of the slack columns, which is how one
+// simplex solve yields BOTH players' equilibrium strategies.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "la/matrix.h"
+
+namespace pg::game {
+
+enum class LpStatus { kOptimal, kUnbounded };
+
+struct LpSolution {
+  LpStatus status = LpStatus::kOptimal;
+  double objective = 0.0;
+  std::vector<double> x;     // primal solution (size = #variables)
+  std::vector<double> dual;  // dual prices, one per constraint
+  std::size_t iterations = 0;
+};
+
+struct LpProblem {
+  la::Matrix a;            // m x n constraint matrix
+  std::vector<double> b;   // m right-hand sides, all >= 0
+  std::vector<double> c;   // n objective coefficients (maximize)
+};
+
+/// Solve the LP. Throws std::invalid_argument on malformed input
+/// (dimension mismatch or negative b).
+[[nodiscard]] LpSolution solve_lp(const LpProblem& problem);
+
+}  // namespace pg::game

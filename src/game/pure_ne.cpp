@@ -1,0 +1,43 @@
+#include "game/pure_ne.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace pg::game {
+
+std::vector<PureEquilibrium> find_pure_equilibria(const MatrixGame& game,
+                                                  double tol) {
+  const std::size_t m = game.num_rows();
+  const std::size_t n = game.num_cols();
+
+  std::vector<double> col_max(n, -std::numeric_limits<double>::infinity());
+  std::vector<double> row_min(m, std::numeric_limits<double>::infinity());
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      const double v = game.payoff_at(i, j);
+      col_max[j] = std::max(col_max[j], v);
+      row_min[i] = std::min(row_min[i], v);
+    }
+  }
+
+  std::vector<PureEquilibrium> out;
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      const double v = game.payoff_at(i, j);
+      if (v >= col_max[j] - tol && v <= row_min[i] + tol) {
+        out.push_back({i, j, v});
+      }
+    }
+  }
+  return out;
+}
+
+bool has_pure_equilibrium(const MatrixGame& game, double tol) {
+  return game.minimax_value() - game.maximin_value() <= tol;
+}
+
+double pure_strategy_gap(const MatrixGame& game) {
+  return std::max(0.0, game.minimax_value() - game.maximin_value());
+}
+
+}  // namespace pg::game

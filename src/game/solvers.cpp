@@ -1,0 +1,166 @@
+#include "game/solvers.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "game/lp.h"
+#include "util/error.h"
+
+namespace pg::game {
+
+Equilibrium solve_lp_equilibrium(const MatrixGame& game) {
+  const std::size_t m = game.num_rows();
+  const std::size_t n = game.num_cols();
+
+  // Shift the payoff matrix strictly positive so the game value is > 0 and
+  // the classic normalization applies.
+  double lo = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      lo = std::min(lo, game.payoff_at(i, j));
+    }
+  }
+  const double shift = (lo <= 0.0) ? (1.0 - lo) : 0.0;
+
+  // Column player's LP: maximize sum(z) s.t. B z <= 1, z >= 0 where
+  // B = payoff + shift. Optimum: sum(z) = 1 / v', q = z * v'; the duals u
+  // give the row strategy p = u * v'; game value = v' - shift.
+  LpProblem lp;
+  lp.a = la::Matrix(m, n);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      lp.a(i, j) = game.payoff_at(i, j) + shift;
+    }
+  }
+  lp.b.assign(m, 1.0);
+  lp.c.assign(n, 1.0);
+
+  const LpSolution sol = solve_lp(lp);
+  PG_ASSERT(sol.status == LpStatus::kOptimal,
+            "shifted matrix game LP must be bounded");
+  PG_ASSERT(sol.objective > 0.0, "shifted game value must be positive");
+
+  const double v_shifted = 1.0 / sol.objective;
+  Equilibrium eq;
+  eq.value = v_shifted - shift;
+  eq.col_strategy.assign(n, 0.0);
+  for (std::size_t j = 0; j < n; ++j) {
+    eq.col_strategy[j] = std::max(0.0, sol.x[j] * v_shifted);
+  }
+  eq.row_strategy.assign(m, 0.0);
+  for (std::size_t i = 0; i < m; ++i) {
+    eq.row_strategy[i] = std::max(0.0, sol.dual[i] * v_shifted);
+  }
+  eq.row_strategy = normalize(std::move(eq.row_strategy));
+  eq.col_strategy = normalize(std::move(eq.col_strategy));
+  return eq;
+}
+
+Equilibrium solve_fictitious_play(const MatrixGame& game,
+                                  const IterativeConfig& config) {
+  PG_CHECK(config.iterations >= 1, "iterations must be >= 1");
+  const std::size_t m = game.num_rows();
+  const std::size_t n = game.num_cols();
+
+  std::vector<double> row_counts(m, 0.0);
+  std::vector<double> col_counts(n, 0.0);
+  // Cumulative payoffs of each pure action against the opponent's play
+  // history; best response = argmax / argmin without renormalizing.
+  std::vector<double> row_scores(m, 0.0);
+  std::vector<double> col_scores(n, 0.0);
+
+  std::size_t row_action = 0;
+  std::size_t col_action = 0;
+  for (std::size_t t = 0; t < config.iterations; ++t) {
+    row_counts[row_action] += 1.0;
+    col_counts[col_action] += 1.0;
+    for (std::size_t i = 0; i < m; ++i) {
+      row_scores[i] += game.payoff_at(i, col_action);
+    }
+    for (std::size_t j = 0; j < n; ++j) {
+      col_scores[j] += game.payoff_at(row_action, j);
+    }
+    row_action = static_cast<std::size_t>(
+        std::max_element(row_scores.begin(), row_scores.end()) -
+        row_scores.begin());
+    col_action = static_cast<std::size_t>(
+        std::min_element(col_scores.begin(), col_scores.end()) -
+        col_scores.begin());
+  }
+
+  Equilibrium eq;
+  eq.row_strategy = normalize(std::move(row_counts));
+  eq.col_strategy = normalize(std::move(col_counts));
+  eq.value = game.expected_payoff(eq.row_strategy, eq.col_strategy);
+  return eq;
+}
+
+Equilibrium solve_multiplicative_weights(const MatrixGame& game,
+                                         const IterativeConfig& config) {
+  PG_CHECK(config.iterations >= 1, "iterations must be >= 1");
+  const std::size_t m = game.num_rows();
+  const std::size_t n = game.num_cols();
+
+  // Scale payoffs to [0, 1] for the standard Hedge guarantee.
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      lo = std::min(lo, game.payoff_at(i, j));
+      hi = std::max(hi, game.payoff_at(i, j));
+    }
+  }
+  const double range = (hi > lo) ? (hi - lo) : 1.0;
+
+  const auto t_total = static_cast<double>(config.iterations);
+  const double eta_row =
+      config.learning_rate > 0.0
+          ? config.learning_rate
+          : std::sqrt(8.0 * std::log(static_cast<double>(std::max<std::size_t>(m, 2))) / t_total);
+  const double eta_col =
+      config.learning_rate > 0.0
+          ? config.learning_rate
+          : std::sqrt(8.0 * std::log(static_cast<double>(std::max<std::size_t>(n, 2))) / t_total);
+
+  std::vector<double> row_logw(m, 0.0);
+  std::vector<double> col_logw(n, 0.0);
+  std::vector<double> row_avg(m, 0.0);
+  std::vector<double> col_avg(n, 0.0);
+
+  auto softmax = [](const std::vector<double>& logw) {
+    const double mx = *std::max_element(logw.begin(), logw.end());
+    std::vector<double> p(logw.size());
+    double total = 0.0;
+    for (std::size_t i = 0; i < logw.size(); ++i) {
+      p[i] = std::exp(logw[i] - mx);
+      total += p[i];
+    }
+    for (double& v : p) v /= total;
+    return p;
+  };
+
+  for (std::size_t t = 0; t < config.iterations; ++t) {
+    const auto p = softmax(row_logw);
+    const auto q = softmax(col_logw);
+    for (std::size_t i = 0; i < m; ++i) row_avg[i] += p[i];
+    for (std::size_t j = 0; j < n; ++j) col_avg[j] += q[j];
+
+    const auto row_pay = game.row_payoffs(q);   // row wants high
+    const auto col_pay = game.col_payoffs(p);   // col wants low
+    for (std::size_t i = 0; i < m; ++i) {
+      row_logw[i] += eta_row * (row_pay[i] - lo) / range;
+    }
+    for (std::size_t j = 0; j < n; ++j) {
+      col_logw[j] -= eta_col * (col_pay[j] - lo) / range;
+    }
+  }
+
+  Equilibrium eq;
+  eq.row_strategy = normalize(std::move(row_avg));
+  eq.col_strategy = normalize(std::move(col_avg));
+  eq.value = game.expected_payoff(eq.row_strategy, eq.col_strategy);
+  return eq;
+}
+
+}  // namespace pg::game

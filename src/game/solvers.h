@@ -1,0 +1,38 @@
+// Equilibrium solvers for zero-sum matrix games.
+//
+// Three independent methods with different accuracy/cost trade-offs; the
+// solver-ablation bench compares them on the discretized poisoning game:
+//  * solve_lp_equilibrium      -- exact (simplex), the reference answer.
+//  * solve_fictitious_play     -- Brown/Robinson iterative play; averages
+//                                 converge to NE in zero-sum games.
+//  * solve_multiplicative_weights -- Hedge self-play; O(sqrt(log K / T))
+//                                 regret gives an approximate equilibrium.
+#pragma once
+
+#include <cstddef>
+
+#include "game/matrix_game.h"
+
+namespace pg::game {
+
+/// Exact equilibrium via one simplex solve of the shifted game.
+/// See lp.h for the reduction.
+[[nodiscard]] Equilibrium solve_lp_equilibrium(const MatrixGame& game);
+
+struct IterativeConfig {
+  std::size_t iterations = 10000;
+  /// Hedge learning rate; <= 0 means use the theory rate
+  /// sqrt(8 ln K / T) per player.
+  double learning_rate = 0.0;
+};
+
+/// Fictitious play: both players best-respond to the opponent's empirical
+/// action frequencies; returns the averaged strategies.
+[[nodiscard]] Equilibrium solve_fictitious_play(const MatrixGame& game,
+                                                const IterativeConfig& config = {});
+
+/// Multiplicative-weights (Hedge) self-play; returns averaged strategies.
+[[nodiscard]] Equilibrium solve_multiplicative_weights(
+    const MatrixGame& game, const IterativeConfig& config = {});
+
+}  // namespace pg::game

@@ -1,0 +1,88 @@
+#include "la/eigen.h"
+
+#include <cmath>
+
+#include "util/error.h"
+
+namespace pg::la {
+
+EigenPair power_iteration(const Matrix& sym, util::Rng& rng,
+                          const PowerIterationConfig& config) {
+  PG_CHECK(!sym.empty(), "power_iteration: empty matrix");
+  PG_CHECK(sym.rows() == sym.cols(), "power_iteration: matrix must be square");
+  const std::size_t n = sym.rows();
+
+  Vector v(n);
+  for (double& x : v) x = rng.normal();
+  double nv = norm(v);
+  if (nv == 0.0) {
+    v[0] = 1.0;
+    nv = 1.0;
+  }
+  scale(v, 1.0 / nv);
+
+  double lambda = 0.0;
+  for (std::size_t it = 0; it < config.max_iters; ++it) {
+    Vector w = sym.matvec(v);
+    const double wn = norm(w);
+    if (wn == 0.0) {
+      // x is in the null space; eigenvalue 0 with the current direction.
+      return {0.0, v};
+    }
+    scale(w, 1.0 / wn);
+    // Convergence when the direction stops changing (up to sign).
+    const double align = std::abs(dot(w, v));
+    v = std::move(w);
+    lambda = dot(v, sym.matvec(v));
+    if (1.0 - align < config.tolerance) break;
+  }
+
+  // Deterministic sign: largest-magnitude component positive.
+  std::size_t arg = 0;
+  for (std::size_t i = 1; i < n; ++i) {
+    if (std::abs(v[i]) > std::abs(v[arg])) arg = i;
+  }
+  if (v[arg] < 0.0) scale(v, -1.0);
+  return {lambda, v};
+}
+
+std::vector<EigenPair> top_eigenpairs(const Matrix& sym, std::size_t k,
+                                      util::Rng& rng,
+                                      const PowerIterationConfig& config) {
+  PG_CHECK(!sym.empty(), "top_eigenpairs: empty matrix");
+  PG_CHECK(sym.rows() == sym.cols(), "top_eigenpairs: matrix must be square");
+  PG_CHECK(k <= sym.rows(), "top_eigenpairs: k exceeds dimension");
+
+  Matrix deflated = sym;
+  std::vector<EigenPair> pairs;
+  pairs.reserve(k);
+  for (std::size_t j = 0; j < k; ++j) {
+    EigenPair p = power_iteration(deflated, rng, config);
+    // Re-orthogonalize against previously found vectors for stability.
+    for (const auto& prev : pairs) {
+      axpy(-dot(p.vector, prev.vector), prev.vector, p.vector);
+    }
+    const double vn = norm(p.vector);
+    if (vn > 0.0) scale(p.vector, 1.0 / vn);
+    // Hotelling deflation: A <- A - lambda v v^T.
+    const std::size_t n = deflated.rows();
+    for (std::size_t r = 0; r < n; ++r) {
+      for (std::size_t c = 0; c < n; ++c) {
+        deflated(r, c) -= p.value * p.vector[r] * p.vector[c];
+      }
+    }
+    pairs.push_back(std::move(p));
+  }
+  return pairs;
+}
+
+Vector project_onto_basis(const Vector& x, const std::vector<EigenPair>& basis) {
+  Vector out(x.size(), 0.0);
+  for (const auto& b : basis) {
+    PG_CHECK(b.vector.size() == x.size(), "project_onto_basis: size mismatch");
+    axpy(dot(x, b.vector), b.vector, out);
+  }
+  return out;
+}
+
+}  // namespace pg::la

@@ -1,0 +1,45 @@
+// Symmetric eigen-decomposition by power iteration with deflation.
+//
+// The PCA-based sanitization baseline projects points onto the top-k
+// principal components of the (poisoned) training set and thresholds the
+// reconstruction error; k is small (<= 10), so power iteration on the
+// covariance matrix is the right tool and avoids a full QR eigensolver.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "la/matrix.h"
+#include "la/vector_ops.h"
+#include "util/rng.h"
+
+namespace pg::la {
+
+struct EigenPair {
+  double value = 0.0;
+  Vector vector;  // unit norm
+};
+
+struct PowerIterationConfig {
+  std::size_t max_iters = 1000;
+  double tolerance = 1e-10;  // convergence in eigenvector direction
+};
+
+/// Dominant eigenpair of a symmetric matrix via power iteration.
+/// Requires a square, non-empty matrix. The sign convention makes the
+/// largest-magnitude component of the eigenvector positive.
+[[nodiscard]] EigenPair power_iteration(const Matrix& sym, util::Rng& rng,
+                                        const PowerIterationConfig& config = {});
+
+/// Top-k eigenpairs of a symmetric positive semi-definite matrix via power
+/// iteration with Hotelling deflation. Requires k <= dimension.
+[[nodiscard]] std::vector<EigenPair> top_eigenpairs(
+    const Matrix& sym, std::size_t k, util::Rng& rng,
+    const PowerIterationConfig& config = {});
+
+/// Project x onto the span of the given orthonormal basis vectors and
+/// return the reconstruction (sum of projections).
+[[nodiscard]] Vector project_onto_basis(const Vector& x,
+                                        const std::vector<EigenPair>& basis);
+
+}  // namespace pg::la

@@ -1,0 +1,80 @@
+#include "la/vector_ops.h"
+
+#include <cmath>
+
+#include "util/error.h"
+
+namespace pg::la {
+
+double dot(const Vector& a, const Vector& b) {
+  PG_CHECK(a.size() == b.size(), "dot: size mismatch");
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+  return s;
+}
+
+double squared_norm(const Vector& a) {
+  double s = 0.0;
+  for (double x : a) s += x * x;
+  return s;
+}
+
+double norm(const Vector& a) { return std::sqrt(squared_norm(a)); }
+
+double distance(const Vector& a, const Vector& b) {
+  PG_CHECK(a.size() == b.size(), "distance: size mismatch");
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    s += d * d;
+  }
+  return std::sqrt(s);
+}
+
+void axpy(double alpha, const Vector& x, Vector& y) {
+  PG_CHECK(x.size() == y.size(), "axpy: size mismatch");
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+}
+
+void scale(Vector& x, double alpha) {
+  for (double& v : x) v *= alpha;
+}
+
+Vector add(const Vector& a, const Vector& b) {
+  PG_CHECK(a.size() == b.size(), "add: size mismatch");
+  Vector out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] + b[i];
+  return out;
+}
+
+Vector subtract(const Vector& a, const Vector& b) {
+  PG_CHECK(a.size() == b.size(), "subtract: size mismatch");
+  Vector out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] - b[i];
+  return out;
+}
+
+Vector scaled(const Vector& a, double alpha) {
+  Vector out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = alpha * a[i];
+  return out;
+}
+
+Vector normalized(const Vector& a) {
+  const double n = norm(a);
+  PG_CHECK(n > 0.0, "normalized: zero vector");
+  return scaled(a, 1.0 / n);
+}
+
+Vector lerp(const Vector& a, const Vector& b, double t) {
+  PG_CHECK(a.size() == b.size(), "lerp: size mismatch");
+  Vector out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    out[i] = (1.0 - t) * a[i] + t * b[i];
+  }
+  return out;
+}
+
+Vector zeros(std::size_t dim) { return Vector(dim, 0.0); }
+
+}  // namespace pg::la

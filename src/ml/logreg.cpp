@@ -1,0 +1,77 @@
+#include "ml/logreg.h"
+
+#include <cmath>
+
+#include "util/error.h"
+
+namespace pg::ml {
+
+double sigmoid(double z) noexcept {
+  if (z >= 0.0) {
+    const double e = std::exp(-z);
+    return 1.0 / (1.0 + e);
+  }
+  const double e = std::exp(z);
+  return e / (1.0 + e);
+}
+
+double logistic_objective(const LinearModel& model, const data::Dataset& d,
+                          double lambda) {
+  PG_CHECK(!d.empty(), "logistic_objective on empty dataset");
+  PG_CHECK(lambda >= 0.0, "lambda must be >= 0");
+  double total = 0.0;
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    const double m = model.margin(d.instance(i), d.label(i));
+    // log(1 + exp(-m)) computed stably.
+    total += (m > 0.0) ? std::log1p(std::exp(-m)) : -m + std::log1p(std::exp(m));
+  }
+  return total / static_cast<double>(d.size()) +
+         0.5 * lambda * la::squared_norm(model.weights());
+}
+
+LogRegTrainer::LogRegTrainer(LogRegConfig config) : config_(config) {
+  PG_CHECK(config_.epochs >= 1, "LogRegConfig: epochs must be >= 1");
+  PG_CHECK(config_.lambda >= 0.0, "LogRegConfig: lambda must be >= 0");
+  PG_CHECK(config_.learning_rate > 0.0,
+           "LogRegConfig: learning_rate must be > 0");
+}
+
+LinearModel LogRegTrainer::train(const data::Dataset& train,
+                                 util::Rng& rng) const {
+  PG_CHECK(!train.empty(), "LogRegTrainer: empty training set");
+  const std::size_t n = train.size();
+  const std::size_t d = train.dim();
+
+  la::Vector w(d, 0.0);
+  double b = 0.0;
+
+  std::vector<std::size_t> order(n);
+  for (std::size_t i = 0; i < n; ++i) order[i] = i;
+
+  const auto& X = train.features();
+  const auto& y = train.labels();
+
+  std::size_t t = 0;
+  for (std::size_t epoch = 0; epoch < config_.epochs; ++epoch) {
+    rng.shuffle(order);
+    for (std::size_t k = 0; k < n; ++k) {
+      ++t;
+      const std::size_t i = order[k];
+      const auto xi = X.row(i);
+      const double yi = static_cast<double>(y[i]);
+      double score = b;
+      for (std::size_t c = 0; c < d; ++c) score += w[c] * xi[c];
+      // d/dz log(1+exp(-y z)) = -y * sigmoid(-y z)
+      const double g = -yi * sigmoid(-yi * score);
+      const double eta = config_.learning_rate /
+                         (1.0 + static_cast<double>(t) * config_.lambda);
+      for (std::size_t c = 0; c < d; ++c) {
+        w[c] -= eta * (g * xi[c] + config_.lambda * w[c]);
+      }
+      b -= eta * g;
+    }
+  }
+  return LinearModel(std::move(w), b);
+}
+
+}  // namespace pg::ml

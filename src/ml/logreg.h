@@ -1,0 +1,44 @@
+// L2-regularized logistic regression trained by SGD.
+//
+// Baseline victim model: the paper's game analysis does not depend on the
+// victim being an SVM, so the defense-comparison ablation also runs the
+// pipeline with a logistic loss to show the E/Gamma curve shapes are
+// model-agnostic.
+#pragma once
+
+#include <cstddef>
+
+#include "data/dataset.h"
+#include "ml/linear_model.h"
+#include "util/rng.h"
+
+namespace pg::ml {
+
+struct LogRegConfig {
+  std::size_t epochs = 200;
+  double lambda = 1e-4;       // L2 strength
+  double learning_rate = 0.1; // base rate, decayed as lr / (1 + t*lambda)
+};
+
+/// Mean negative log-likelihood plus L2 penalty.
+[[nodiscard]] double logistic_objective(const LinearModel& model,
+                                        const data::Dataset& d, double lambda);
+
+class LogRegTrainer {
+ public:
+  explicit LogRegTrainer(LogRegConfig config);
+
+  [[nodiscard]] const LogRegConfig& config() const noexcept { return config_; }
+
+  /// Train on a non-empty dataset.
+  [[nodiscard]] LinearModel train(const data::Dataset& train,
+                                  util::Rng& rng) const;
+
+ private:
+  LogRegConfig config_;
+};
+
+/// Numerically stable sigmoid.
+[[nodiscard]] double sigmoid(double z) noexcept;
+
+}  // namespace pg::ml

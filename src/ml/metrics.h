@@ -1,0 +1,35 @@
+// Classification metrics used by experiment reports.
+#pragma once
+
+#include <cstddef>
+
+#include "data/dataset.h"
+#include "ml/linear_model.h"
+
+namespace pg::ml {
+
+/// 2x2 confusion counts for the +1 (positive) class.
+struct ConfusionMatrix {
+  std::size_t true_positive = 0;
+  std::size_t false_positive = 0;
+  std::size_t true_negative = 0;
+  std::size_t false_negative = 0;
+
+  [[nodiscard]] std::size_t total() const noexcept {
+    return true_positive + false_positive + true_negative + false_negative;
+  }
+  [[nodiscard]] double accuracy() const;
+  [[nodiscard]] double precision() const;  // 0 when no predicted positives
+  [[nodiscard]] double recall() const;     // 0 when no actual positives
+  [[nodiscard]] double f1() const;         // 0 when precision+recall == 0
+  [[nodiscard]] double false_positive_rate() const;
+};
+
+/// Evaluate a model on a non-empty dataset.
+[[nodiscard]] ConfusionMatrix evaluate(const LinearModel& model,
+                                       const data::Dataset& d);
+
+/// Shorthand for evaluate(...).accuracy().
+[[nodiscard]] double accuracy(const LinearModel& model, const data::Dataset& d);
+
+}  // namespace pg::ml

@@ -1,0 +1,41 @@
+#include "ml/validation.h"
+
+#include "ml/metrics.h"
+#include "util/error.h"
+
+namespace pg::ml {
+
+std::vector<std::vector<std::size_t>> kfold_indices(std::size_t n,
+                                                    std::size_t k,
+                                                    util::Rng& rng) {
+  PG_CHECK(k >= 2, "kfold requires k >= 2");
+  PG_CHECK(k <= n, "kfold requires k <= n");
+  std::vector<std::size_t> idx(n);
+  for (std::size_t i = 0; i < n; ++i) idx[i] = i;
+  rng.shuffle(idx);
+  std::vector<std::vector<std::size_t>> folds(k);
+  for (std::size_t i = 0; i < n; ++i) folds[i % k].push_back(idx[i]);
+  return folds;
+}
+
+double cross_validated_accuracy(const data::Dataset& d, std::size_t k,
+                                const TrainFn& train_fn, util::Rng& rng) {
+  PG_CHECK(!d.empty(), "cross validation on empty dataset");
+  const auto folds = kfold_indices(d.size(), k, rng);
+  double total = 0.0;
+  for (std::size_t f = 0; f < folds.size(); ++f) {
+    std::vector<std::size_t> train_idx;
+    for (std::size_t g = 0; g < folds.size(); ++g) {
+      if (g == f) continue;
+      train_idx.insert(train_idx.end(), folds[g].begin(), folds[g].end());
+    }
+    const data::Dataset train = d.select(train_idx);
+    const data::Dataset test = d.select(folds[f]);
+    util::Rng fold_rng = rng.fork(f);
+    const LinearModel model = train_fn(train, fold_rng);
+    total += accuracy(model, test);
+  }
+  return total / static_cast<double>(folds.size());
+}
+
+}  // namespace pg::ml

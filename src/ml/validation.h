@@ -1,0 +1,31 @@
+// K-fold cross validation.
+//
+// Used by tests to bound the variance of accuracy measurements and by the
+// RONI defense to score candidate points on held-out folds.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "data/dataset.h"
+#include "ml/linear_model.h"
+#include "util/rng.h"
+
+namespace pg::ml {
+
+/// A function that trains a model on a dataset.
+using TrainFn =
+    std::function<LinearModel(const data::Dataset&, util::Rng&)>;
+
+/// Deterministic k-fold index partition of [0, n). Requires 2 <= k <= n.
+[[nodiscard]] std::vector<std::vector<std::size_t>> kfold_indices(
+    std::size_t n, std::size_t k, util::Rng& rng);
+
+/// Mean held-out accuracy over k folds.
+[[nodiscard]] double cross_validated_accuracy(const data::Dataset& d,
+                                              std::size_t k,
+                                              const TrainFn& train_fn,
+                                              util::Rng& rng);
+
+}  // namespace pg::ml

@@ -1,0 +1,72 @@
+#include "sim/curve_fit.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace pg::sim {
+
+std::vector<double> isotonic_non_decreasing(std::vector<double> ys) {
+  // Pool Adjacent Violators with uniform weights.
+  const std::size_t n = ys.size();
+  if (n <= 1) return ys;
+  std::vector<double> level;   // block means
+  std::vector<std::size_t> count;  // block sizes
+  level.reserve(n);
+  count.reserve(n);
+  for (double y : ys) {
+    level.push_back(y);
+    count.push_back(1);
+    while (level.size() >= 2 &&
+           level[level.size() - 2] > level[level.size() - 1]) {
+      const double merged =
+          (level[level.size() - 2] * static_cast<double>(count[count.size() - 2]) +
+           level[level.size() - 1] * static_cast<double>(count[count.size() - 1])) /
+          static_cast<double>(count[count.size() - 2] + count[count.size() - 1]);
+      count[count.size() - 2] += count[count.size() - 1];
+      level[level.size() - 2] = merged;
+      level.pop_back();
+      count.pop_back();
+    }
+  }
+  std::vector<double> out;
+  out.reserve(n);
+  for (std::size_t b = 0; b < level.size(); ++b) {
+    out.insert(out.end(), count[b], level[b]);
+  }
+  return out;
+}
+
+std::vector<double> isotonic_non_increasing(std::vector<double> ys) {
+  for (double& y : ys) y = -y;
+  ys = isotonic_non_decreasing(std::move(ys));
+  for (double& y : ys) y = -y;
+  return ys;
+}
+
+core::PayoffCurves fit_payoff_curves(const PureSweepResult& sweep) {
+  PG_CHECK(sweep.points.size() >= 2, "fit_payoff_curves: need >= 2 points");
+  PG_CHECK(sweep.poison_budget > 0, "fit_payoff_curves: zero poison budget");
+
+  const double n = static_cast<double>(sweep.poison_budget);
+  std::vector<double> xs;
+  std::vector<double> gamma_raw;
+  std::vector<double> e_raw;
+  for (const auto& pt : sweep.points) {
+    xs.push_back(pt.removal_fraction);
+    gamma_raw.push_back(
+        std::max(0.0, sweep.clean_accuracy - pt.accuracy_no_attack));
+    e_raw.push_back(std::max(
+        0.0, (pt.accuracy_no_attack - pt.accuracy_attacked) / n));
+  }
+
+  std::vector<double> gamma = isotonic_non_decreasing(std::move(gamma_raw));
+  std::vector<double> damage = isotonic_non_increasing(std::move(e_raw));
+  // Gamma(0) = 0 by definition (no filter, no genuine points removed).
+  if (!gamma.empty() && xs.front() == 0.0) gamma.front() = 0.0;
+
+  return core::PayoffCurves(util::PiecewiseLinear(xs, damage),
+                            util::PiecewiseLinear(xs, gamma));
+}
+
+}  // namespace pg::sim

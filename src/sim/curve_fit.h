@@ -1,0 +1,33 @@
+// Fitting E(p) and Gamma(p) from a pure-strategy sweep.
+//
+// The paper: "The input of the algorithm, E(p) and Gamma(p), are
+// approximated using the results in Fig. 1." Concretely:
+//   Gamma(p) = max(0, acc_clean(0) - acc_clean(p))
+//   E(p)     = max(0, (acc_clean(p) - acc_attacked(p)) / N)
+// Both are then made monotone by isotonic regression (pool-adjacent-
+// violators) -- Gamma non-decreasing, E non-increasing -- which removes
+// SGD measurement noise that would otherwise corrupt Algorithm 1's
+// indifference ratios.
+#pragma once
+
+#include <vector>
+
+#include "core/payoff.h"
+#include "sim/pure_sweep.h"
+
+namespace pg::sim {
+
+/// Isotonic regression: least-squares best non-decreasing fit (PAV).
+[[nodiscard]] std::vector<double> isotonic_non_decreasing(
+    std::vector<double> ys);
+
+/// Least-squares best non-increasing fit.
+[[nodiscard]] std::vector<double> isotonic_non_increasing(
+    std::vector<double> ys);
+
+/// Build the payoff curves from a sweep (see file comment). Requires a
+/// sweep with >= 2 points and a positive poison budget.
+[[nodiscard]] core::PayoffCurves fit_payoff_curves(
+    const PureSweepResult& sweep);
+
+}  // namespace pg::sim

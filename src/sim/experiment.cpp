@@ -1,0 +1,49 @@
+#include "sim/experiment.h"
+
+#include "attack/attack.h"
+#include "defense/pipeline.h"
+#include "ml/metrics.h"
+#include "util/error.h"
+
+namespace pg::sim {
+
+ExperimentContext prepare_experiment(const ExperimentConfig& config) {
+  util::Rng rng(config.seed);
+
+  data::CorpusInfo corpus =
+      config.try_real_corpus
+          ? data::load_or_generate_spambase(data::default_spambase_paths(),
+                                            config.corpus, rng)
+          : data::CorpusInfo{data::make_spambase_like(config.corpus, rng),
+                             true, "synthetic"};
+
+  util::Rng split_rng = rng.fork(1);
+  auto split =
+      data::split_train_test(corpus.data, config.train_fraction, split_rng);
+
+  ExperimentContext ctx;
+  ctx.config = config;
+  ctx.corpus_source = corpus.source;
+  ctx.train = std::move(split.train);
+  ctx.test = std::move(split.test);
+  ctx.poison_budget =
+      attack::poison_budget(ctx.train.size(), config.poison_fraction);
+
+  util::Rng train_rng = rng.fork(2);
+  const defense::Pipeline pipeline({config.svm});
+  ctx.clean_accuracy =
+      pipeline.run(ctx.train, ctx.test, nullptr, 0, nullptr, train_rng)
+          .test_accuracy;
+  return ctx;
+}
+
+ExperimentConfig fast_config(std::uint64_t seed) {
+  ExperimentConfig cfg;
+  cfg.seed = seed;
+  cfg.corpus.n_instances = 800;
+  cfg.svm.epochs = 60;
+  cfg.try_real_corpus = false;
+  return cfg;
+}
+
+}  // namespace pg::sim

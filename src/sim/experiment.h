@@ -1,0 +1,52 @@
+// Experiment setup shared by every reproduction harness.
+//
+// Mirrors the paper's protocol: load Spambase (or the synthetic
+// substitute), split 70/30, standardize on the clean training split, fix a
+// 20% poison budget, and train a hinge-loss SVM. All knobs live in
+// ExperimentConfig so benches and tests can trade fidelity for speed
+// explicitly.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "data/dataset.h"
+#include "data/loader.h"
+#include "defense/centroid.h"
+#include "ml/svm.h"
+#include "util/rng.h"
+
+namespace pg::sim {
+
+struct ExperimentConfig {
+  std::uint64_t seed = 42;
+  data::SpambaseLikeConfig corpus{};
+  double train_fraction = 0.7;   // paper: 70% train / 30% test
+  double poison_fraction = 0.2;  // paper: attacker controls 20%
+  ml::SvmConfig svm{};
+  defense::CentroidConfig centroid{};
+  /// Use real spambase.data when present in the default locations.
+  bool try_real_corpus = true;
+};
+
+struct ExperimentContext {
+  ExperimentConfig config;
+  /// RAW (unstandardized) splits: the attack and the filter operate in raw
+  /// feature space, exactly like the paper; the Pipeline standardizes
+  /// after filtering, fitted on whatever survived.
+  data::Dataset train;
+  data::Dataset test;
+  std::size_t poison_budget = 0;  // paper's N
+  std::string corpus_source;      // "synthetic" or a file path
+  double clean_accuracy = 0.0;    // no attack, no filter baseline
+};
+
+/// Load/synthesize the corpus, split, standardize, fix the poison budget,
+/// and measure the clean baseline accuracy.
+[[nodiscard]] ExperimentContext prepare_experiment(const ExperimentConfig& config);
+
+/// A small/fast configuration used by integration tests: a reduced corpus
+/// and a cheap SVM, preserving all structural properties of the full run.
+[[nodiscard]] ExperimentConfig fast_config(std::uint64_t seed = 42);
+
+}  // namespace pg::sim

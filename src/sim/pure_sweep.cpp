@@ -1,0 +1,80 @@
+#include "sim/pure_sweep.h"
+
+#include "attack/boundary_attack.h"
+#include "defense/distance_filter.h"
+#include "defense/pipeline.h"
+#include "util/error.h"
+#include "util/logging.h"
+
+namespace pg::sim {
+
+std::vector<double> sweep_grid(double max_fraction, std::size_t steps) {
+  PG_CHECK(max_fraction > 0.0 && max_fraction < 1.0,
+           "max_fraction must be in (0, 1)");
+  PG_CHECK(steps >= 2, "steps must be >= 2");
+  std::vector<double> grid(steps);
+  for (std::size_t i = 0; i < steps; ++i) {
+    grid[i] =
+        max_fraction * static_cast<double>(i) / static_cast<double>(steps - 1);
+  }
+  return grid;
+}
+
+PureSweepResult run_pure_sweep(const ExperimentContext& ctx,
+                               const std::vector<double>& grid,
+                               std::size_t replications) {
+  PG_CHECK(!grid.empty(), "run_pure_sweep: empty grid");
+  PG_CHECK(replications >= 1, "replications must be >= 1");
+
+  const defense::Pipeline pipeline({ctx.config.svm});
+  PureSweepResult result;
+  result.clean_accuracy = ctx.clean_accuracy;
+  result.poison_budget = ctx.poison_budget;
+
+  for (std::size_t gi = 0; gi < grid.size(); ++gi) {
+    const double p = grid[gi];
+    PureSweepPoint point;
+    point.removal_fraction = p;
+
+    double acc_clean = 0.0;
+    double acc_attack = 0.0;
+    double survived = 0.0;
+    for (std::size_t rep = 0; rep < replications; ++rep) {
+      util::Rng rng(ctx.config.seed + 7919 * (rep + 1) + 104729 * gi);
+
+      defense::DistanceFilterConfig fcfg;
+      fcfg.removal_fraction = p;
+      fcfg.centroid = ctx.config.centroid;
+      const defense::DistanceFilter filter(fcfg);
+      const defense::Filter* filter_ptr = (p > 0.0) ? &filter : nullptr;
+
+      // No-attack arm: Gamma measurement.
+      util::Rng rng_clean = rng.fork(1);
+      acc_clean += pipeline
+                       .run(ctx.train, ctx.test, nullptr, 0, filter_ptr,
+                            rng_clean)
+                       .test_accuracy;
+
+      // Attacked arm: the optimal pure attack against a known filter p.
+      attack::BoundaryAttackConfig acfg;
+      acfg.placement_fraction = p;
+      const attack::BoundaryAttack attack(acfg);
+      util::Rng rng_attack = rng.fork(2);
+      const auto res = pipeline.run(ctx.train, ctx.test, &attack,
+                                    ctx.poison_budget, filter_ptr, rng_attack);
+      acc_attack += res.test_accuracy;
+      survived += 1.0 - res.detection.recall;
+    }
+    const auto reps = static_cast<double>(replications);
+    point.accuracy_no_attack = acc_clean / reps;
+    point.accuracy_attacked = acc_attack / reps;
+    point.poison_survived_fraction = survived / reps;
+    result.points.push_back(point);
+    util::log_info() << "sweep p=" << p
+                     << " clean=" << point.accuracy_no_attack
+                     << " attacked=" << point.accuracy_attacked;
+  }
+  return result;
+}
+
+}  // namespace pg::sim

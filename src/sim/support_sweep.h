@@ -1,0 +1,31 @@
+// The section-5 text claim: accuracy plateaus for support sizes n >= 3
+// while computation time keeps growing ("We experimented filters with
+// n <= 5 ... stays roughly the same after n = 3 ... computation time
+// increases significantly").
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/equilibrium.h"
+#include "sim/experiment.h"
+#include "sim/mixed_eval.h"
+
+namespace pg::sim {
+
+struct SupportSweepRow {
+  std::size_t support_size = 0;
+  defense::MixedDefenseStrategy strategy;
+  double predicted_loss = 0.0;      // Algorithm 1's f(S)
+  double adversarial_accuracy = 0.0;  // measured on the testbed
+  double solve_seconds = 0.0;
+  std::size_t solve_iterations = 0;
+};
+
+/// Run Algorithm 1 for each n in [1, max_n] and evaluate empirically.
+[[nodiscard]] std::vector<SupportSweepRow> run_support_sweep(
+    const ExperimentContext& ctx, const core::PoisoningGame& game,
+    std::size_t max_n, const core::Algorithm1Config& base_config = {},
+    const MixedEvalConfig& eval = {});
+
+}  // namespace pg::sim

@@ -1,0 +1,46 @@
+#include "sim/transfer.h"
+
+#include "util/error.h"
+#include "util/logging.h"
+
+namespace pg::sim {
+
+namespace {
+
+defense::MixedDefenseStrategy solve_on(const ExperimentContext& ctx,
+                                       const TransferConfig& config) {
+  const auto sweep =
+      run_pure_sweep(ctx, config.sweep_fractions, config.sweep_replications);
+  const auto curves = fit_payoff_curves(sweep);
+  const core::PoisoningGame game(curves, ctx.poison_budget);
+  core::Algorithm1Config acfg;
+  acfg.support_size = config.support_size;
+  return core::compute_optimal_defense(game, acfg).strategy;
+}
+
+}  // namespace
+
+TransferResult run_transfer_experiment(const ExperimentContext& source,
+                                       const ExperimentContext& target,
+                                       const TransferConfig& config) {
+  PG_CHECK(!source.train.empty() && !target.train.empty(),
+           "transfer requires prepared contexts");
+
+  TransferResult result{
+      solve_on(source, config), solve_on(target, config), 0.0, 0.0, 0.0};
+  util::log_info() << "source strategy " << result.source_strategy.describe()
+                   << " | native strategy "
+                   << result.native_strategy.describe();
+
+  result.transferred_accuracy =
+      evaluate_mixed_defense(target, result.source_strategy, config.eval)
+          .adversarial_accuracy;
+  result.native_accuracy =
+      evaluate_mixed_defense(target, result.native_strategy, config.eval)
+          .adversarial_accuracy;
+  result.transfer_gap =
+      result.transferred_accuracy - result.native_accuracy;
+  return result;
+}
+
+}  // namespace pg::sim

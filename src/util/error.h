@@ -1,0 +1,47 @@
+// Precondition checking helpers shared by all poisongame libraries.
+//
+// Public API functions validate their arguments with PG_CHECK (throws
+// std::invalid_argument) so misuse is reported eagerly; internal invariants
+// use PG_ASSERT (throws std::logic_error) so broken library state is never
+// silently ignored, even in release builds.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace pg::util {
+
+[[noreturn]] inline void throw_invalid_argument(const std::string& expr,
+                                                const std::string& file,
+                                                int line,
+                                                const std::string& msg) {
+  std::ostringstream os;
+  os << "precondition failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " (" << msg << ")";
+  throw std::invalid_argument(os.str());
+}
+
+[[noreturn]] inline void throw_logic_error(const std::string& expr,
+                                           const std::string& file,
+                                           int line,
+                                           const std::string& msg) {
+  std::ostringstream os;
+  os << "invariant violated: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " (" << msg << ")";
+  throw std::logic_error(os.str());
+}
+
+}  // namespace pg::util
+
+#define PG_CHECK(cond, msg)                                               \
+  do {                                                                    \
+    if (!(cond))                                                          \
+      ::pg::util::throw_invalid_argument(#cond, __FILE__, __LINE__, msg); \
+  } while (false)
+
+#define PG_ASSERT(cond, msg)                                          \
+  do {                                                                \
+    if (!(cond))                                                      \
+      ::pg::util::throw_logic_error(#cond, __FILE__, __LINE__, msg);  \
+  } while (false)

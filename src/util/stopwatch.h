@@ -1,0 +1,27 @@
+// Wall-clock stopwatch for the n-sweep experiment (the paper reports that
+// "the computation time increases significantly when computing high value
+// of n") and for coarse progress reporting.
+#pragma once
+
+#include <chrono>
+
+namespace pg::util {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  [[nodiscard]] double elapsed_seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  [[nodiscard]] double elapsed_ms() const { return elapsed_seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace pg::util

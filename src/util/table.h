@@ -1,0 +1,41 @@
+// ASCII table rendering for the benchmark harness.
+//
+// Each bench binary prints the rows/series of one paper figure or table;
+// TextTable keeps that output aligned and diff-friendly.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace pg::util {
+
+/// Simple column-aligned ASCII table with an optional title.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Append a row. Must match the header width.
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: format doubles with fixed precision. (A distinct name,
+  /// not an overload: string literals convert to bool and then double, so
+  /// an overload would make add_row({"a", "b"}) ambiguous.)
+  void add_numeric_row(const std::vector<double>& row, int precision = 4);
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+
+  /// Render with column padding and a separator under the header.
+  [[nodiscard]] std::string str() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format a double as a fixed-precision string (helper for table cells).
+[[nodiscard]] std::string format_double(double v, int precision = 4);
+
+/// Format a fraction as a percentage string, e.g. 0.058 -> "5.8%".
+[[nodiscard]] std::string format_percent(double fraction, int precision = 1);
+
+}  // namespace pg::util

@@ -1,0 +1,190 @@
+// End-to-end integration tests: the full paper pipeline (corpus -> sweep ->
+// curve fit -> Algorithm 1 -> empirical evaluation) on a reduced testbed,
+// asserting the *shape* claims of the paper's evaluation section.
+#include <gtest/gtest.h>
+
+#include "core/equilibrium.h"
+#include "core/game_model.h"
+#include "core/ne_properties.h"
+#include "game/pure_ne.h"
+#include "game/solvers.h"
+#include "sim/curve_fit.h"
+#include "sim/experiment.h"
+#include "sim/mixed_eval.h"
+#include "sim/pure_sweep.h"
+
+namespace pg {
+namespace {
+
+struct Testbed {
+  sim::ExperimentContext ctx;
+  sim::PureSweepResult sweep;
+  core::PayoffCurves curves;
+};
+
+const Testbed& testbed() {
+  static const Testbed tb = [] {
+    sim::ExperimentConfig cfg = sim::fast_config(42);
+    cfg.corpus.n_instances = 1200;
+    cfg.svm.epochs = 80;
+    Testbed t{sim::prepare_experiment(cfg), {}, {}};
+    t.sweep = sim::run_pure_sweep(t.ctx, sim::sweep_grid(0.50, 11), 2);
+    t.curves = sim::fit_payoff_curves(t.sweep);
+    return t;
+  }();
+  return tb;
+}
+
+TEST(IntegrationTest, CleanBaselineIsSpambaseLike) {
+  // The paper's Fig. 1 starts just under 0.9 on clean Spambase.
+  const auto& tb = testbed();
+  EXPECT_GT(tb.ctx.clean_accuracy, 0.82);
+  EXPECT_LT(tb.ctx.clean_accuracy, 0.99);
+}
+
+TEST(IntegrationTest, Fig1AttackAlwaysHurts) {
+  for (const auto& pt : testbed().sweep.points) {
+    EXPECT_LE(pt.accuracy_attacked, pt.accuracy_no_attack + 0.01)
+        << "at p=" << pt.removal_fraction;
+  }
+}
+
+TEST(IntegrationTest, Fig1InteriorOptimumExists) {
+  // "the defender loses incentive to increase filter strength at some
+  // point between 10% and 30%": the attacked curve has an interior max.
+  const auto& pts = testbed().sweep.points;
+  const double at_zero = pts.front().accuracy_attacked;
+  const double at_max = pts.back().accuracy_attacked;
+  double best = -1.0;
+  double best_p = 0.0;
+  for (const auto& pt : pts) {
+    if (pt.accuracy_attacked > best) {
+      best = pt.accuracy_attacked;
+      best_p = pt.removal_fraction;
+    }
+  }
+  EXPECT_GT(best, at_zero + 0.03) << "filtering must help under attack";
+  EXPECT_GT(best_p, 0.0);
+  EXPECT_LT(best_p, 0.50);
+  // Past the optimum the curve declines (defender loses incentive).
+  EXPECT_LT(at_max, best + 0.01);
+}
+
+TEST(IntegrationTest, Fig1UnfilteredAttackIsDevastating) {
+  // At p=0 the attack drives accuracy toward the majority-vote floor,
+  // like the paper's ~62% on Spambase.
+  const auto& tb = testbed();
+  const double at_zero = tb.sweep.points.front().accuracy_attacked;
+  EXPECT_LT(at_zero, tb.ctx.clean_accuracy - 0.15);
+}
+
+TEST(IntegrationTest, FittedCurvesHaveGameTension) {
+  // E must genuinely decay (the filter weakens the attacker) and Gamma
+  // must genuinely grow (filtering costs accuracy) -- the two forces whose
+  // balance creates the mixed equilibrium.
+  const auto& c = testbed().curves;
+  EXPECT_GT(c.damage(0.0), 1.5 * c.damage(0.45) - 1e-12);
+  EXPECT_GE(c.cost(0.45), c.cost(0.1));
+  EXPECT_GT(c.damage(0.0), 0.0);
+}
+
+TEST(IntegrationTest, Proposition1NoPureNeOnMeasuredCurves) {
+  const auto& tb = testbed();
+  const core::PoisoningGame game(tb.curves, tb.ctx.poison_budget);
+  const auto report = core::analyze_pure_equilibria(game, 64);
+  EXPECT_EQ(report.saddle_points, 0u);
+  EXPECT_GT(report.gap, 0.0);
+}
+
+TEST(IntegrationTest, Algorithm1OnMeasuredCurvesIsIndifferent) {
+  const auto& tb = testbed();
+  const core::PoisoningGame game(tb.curves, tb.ctx.poison_budget);
+  core::Algorithm1Config cfg;
+  cfg.support_size = 3;
+  const auto sol = core::compute_optimal_defense(game, cfg);
+  const auto indiff = core::check_indifference(game, sol.strategy, 1e-3);
+  EXPECT_TRUE(indiff.properly_mixed);
+  EXPECT_TRUE(indiff.indifferent) << "spread " << indiff.relative_spread;
+}
+
+TEST(IntegrationTest, Table1MixedBeatsPredictedPureLoss) {
+  // In the game model (measured curves), the mixed strategy's predicted
+  // loss must beat every pure strategy's predicted loss -- the exact
+  // statement behind Table 1.
+  const auto& tb = testbed();
+  const core::PoisoningGame game(tb.curves, tb.ctx.poison_budget);
+  core::Algorithm1Config cfg;
+  cfg.support_size = 3;
+  const auto sol = core::compute_optimal_defense(game, cfg);
+
+  double best_pure_loss = 1e300;
+  for (double theta = 0.0; theta <= 0.50; theta += 0.005) {
+    const double loss =
+        static_cast<double>(tb.ctx.poison_budget) * tb.curves.damage(theta) +
+        tb.curves.cost(theta);
+    best_pure_loss = std::min(best_pure_loss, loss);
+  }
+  EXPECT_LT(sol.defender_loss, best_pure_loss + 1e-9);
+}
+
+TEST(IntegrationTest, Table1EmpiricalMixedCompetitiveWithBestPure) {
+  // Empirical counterpart on the reduced testbed: the mixed defense's
+  // adversarial accuracy must at least match the best pure defense within
+  // measurement noise (on the full corpus it strictly wins; the reduced
+  // corpus keeps CI time sane, so we allow a small tolerance band).
+  const auto& tb = testbed();
+  const core::PoisoningGame game(tb.curves, tb.ctx.poison_budget);
+  core::Algorithm1Config acfg;
+  acfg.support_size = 3;
+  const auto sol = core::compute_optimal_defense(game, acfg);
+
+  sim::MixedEvalConfig ecfg;
+  ecfg.draws = 3;
+  const auto eval = sim::evaluate_mixed_defense(tb.ctx, sol.strategy, ecfg);
+  // The strict "mixed > every pure" ordering is asserted in predicted-loss
+  // space (Table1MixedBeatsPredictedPureLoss) and measured at full corpus
+  // scale by bench_table1; at CI scale the Monte-Carlo variance of the
+  // adversarial accuracy (+-5-7%) would make a strict comparison flaky
+  // (the paper itself lists the pure-scenario E/Gamma approximation as a
+  // limitation). Here we assert the robust empirical facts:
+  // the mixed defense decisively beats no defense...
+  EXPECT_GT(eval.adversarial_accuracy,
+            tb.sweep.points.front().accuracy_attacked + 0.02);
+  // ...pays only a small no-attack cost relative to the clean baseline...
+  EXPECT_GT(eval.no_attack_accuracy, tb.ctx.clean_accuracy - 0.05);
+  // ...and lands within noise of the best pure defense.
+  const auto pure = sim::best_pure_defense(tb.sweep);
+  EXPECT_GT(eval.adversarial_accuracy, pure.best_accuracy - 0.13);
+}
+
+TEST(IntegrationTest, LpCrossCheckOnMeasuredCurves) {
+  // The discretized game's exact LP value and Algorithm 1's loss must
+  // agree on the measured curves too (Proposition 2 cross-check).
+  const auto& tb = testbed();
+  const core::PoisoningGame game(tb.curves, tb.ctx.poison_budget);
+  core::Algorithm1Config cfg;
+  cfg.support_size = 5;
+  const auto sol = core::compute_optimal_defense(game, cfg);
+  const auto eq = game::solve_lp_equilibrium(game.discretize(120, 120));
+  EXPECT_NEAR(sol.defender_loss, eq.value,
+              0.2 * std::abs(eq.value) + 0.01);
+}
+
+TEST(IntegrationTest, WholePipelineDeterministic) {
+  sim::ExperimentConfig cfg = sim::fast_config(7);
+  cfg.corpus.n_instances = 400;
+  cfg.svm.epochs = 20;
+  const auto ctx1 = sim::prepare_experiment(cfg);
+  const auto ctx2 = sim::prepare_experiment(cfg);
+  const auto s1 = sim::run_pure_sweep(ctx1, {0.0, 0.2}, 1);
+  const auto s2 = sim::run_pure_sweep(ctx2, {0.0, 0.2}, 1);
+  for (std::size_t i = 0; i < s1.points.size(); ++i) {
+    EXPECT_DOUBLE_EQ(s1.points[i].accuracy_attacked,
+                     s2.points[i].accuracy_attacked);
+    EXPECT_DOUBLE_EQ(s1.points[i].accuracy_no_attack,
+                     s2.points[i].accuracy_no_attack);
+  }
+}
+
+}  // namespace
+}  // namespace pg

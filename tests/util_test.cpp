@@ -1,0 +1,496 @@
+// Unit and property tests for pg::util -- RNG, interpolation, statistics,
+// CSV, tables, and error macros.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <stdexcept>
+
+#include "util/csv.h"
+#include "util/error.h"
+#include "util/interp.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/stopwatch.h"
+#include "util/table.h"
+
+namespace pg::util {
+namespace {
+
+// ---------------------------------------------------------------- error.h
+
+TEST(ErrorTest, CheckThrowsInvalidArgument) {
+  EXPECT_THROW(PG_CHECK(false, "boom"), std::invalid_argument);
+}
+
+TEST(ErrorTest, CheckPassesOnTrue) {
+  EXPECT_NO_THROW(PG_CHECK(true, "fine"));
+}
+
+TEST(ErrorTest, AssertThrowsLogicError) {
+  EXPECT_THROW(PG_ASSERT(false, "broken"), std::logic_error);
+}
+
+TEST(ErrorTest, MessageContainsExpressionAndNote) {
+  try {
+    PG_CHECK(1 == 2, "the note");
+    FAIL() << "expected throw";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("1 == 2"), std::string::npos);
+    EXPECT_NE(msg.find("the note"), std::string::npos);
+  }
+}
+
+// ------------------------------------------------------------------ rng.h
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.uniform() == b.uniform()) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(RngTest, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, UniformRangeRespectsBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-3.0, 5.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(RngTest, UniformRangeRejectsEmptyInterval) {
+  Rng rng(7);
+  EXPECT_THROW((void)rng.uniform(1.0, 1.0), std::invalid_argument);
+}
+
+TEST(RngTest, UniformIndexCoversAllValues) {
+  Rng rng(11);
+  std::set<std::size_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.uniform_index(7));
+  EXPECT_EQ(seen.size(), 7u);
+  EXPECT_EQ(*seen.rbegin(), 6u);
+}
+
+TEST(RngTest, UniformIndexZeroThrows) {
+  Rng rng(11);
+  EXPECT_THROW((void)rng.uniform_index(0), std::invalid_argument);
+}
+
+TEST(RngTest, UniformIntInclusiveBounds) {
+  Rng rng(13);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const long long v = rng.uniform_int(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    saw_lo |= (v == -2);
+    saw_hi |= (v == 2);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, NormalMomentsApproximatelyStandard) {
+  Rng rng(17);
+  const int n = 50000;
+  double sum = 0.0;
+  double sum2 = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sum2 += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sum2 / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.03);
+  EXPECT_NEAR(var, 1.0, 0.05);
+}
+
+TEST(RngTest, NormalScaledMoments) {
+  Rng rng(19);
+  const int n = 30000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += rng.normal(5.0, 2.0);
+  EXPECT_NEAR(sum / n, 5.0, 0.1);
+}
+
+TEST(RngTest, NormalRejectsNegativeSd) {
+  Rng rng(19);
+  EXPECT_THROW((void)rng.normal(0.0, -1.0), std::invalid_argument);
+}
+
+TEST(RngTest, ExponentialMeanMatchesRate) {
+  Rng rng(23);
+  const int n = 30000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(4.0);
+  EXPECT_NEAR(sum / n, 0.25, 0.02);
+}
+
+TEST(RngTest, ExponentialPositive) {
+  Rng rng(23);
+  for (int i = 0; i < 1000; ++i) EXPECT_GT(rng.exponential(1.0), 0.0);
+}
+
+TEST(RngTest, LognormalPositive) {
+  Rng rng(29);
+  for (int i = 0; i < 1000; ++i) EXPECT_GT(rng.lognormal(0.0, 1.0), 0.0);
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(31);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Rng rng(31);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+TEST(RngTest, CategoricalRespectsWeights) {
+  Rng rng(37);
+  std::vector<double> w{1.0, 0.0, 3.0};
+  int counts[3] = {0, 0, 0};
+  const int n = 40000;
+  for (int i = 0; i < n; ++i) ++counts[rng.categorical(w)];
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(static_cast<double>(counts[0]) / n, 0.25, 0.02);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / n, 0.75, 0.02);
+}
+
+TEST(RngTest, CategoricalRejectsAllZero) {
+  Rng rng(37);
+  std::vector<double> w{0.0, 0.0};
+  EXPECT_THROW((void)rng.categorical(w), std::invalid_argument);
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(41);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7};
+  auto sorted = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(RngTest, SampleWithoutReplacementDistinct) {
+  Rng rng(43);
+  const auto s = rng.sample_without_replacement(50, 20);
+  EXPECT_EQ(s.size(), 20u);
+  std::set<std::size_t> unique(s.begin(), s.end());
+  EXPECT_EQ(unique.size(), 20u);
+  for (std::size_t i : s) EXPECT_LT(i, 50u);
+}
+
+TEST(RngTest, SampleWithoutReplacementFull) {
+  Rng rng(43);
+  const auto s = rng.sample_without_replacement(5, 5);
+  std::set<std::size_t> unique(s.begin(), s.end());
+  EXPECT_EQ(unique.size(), 5u);
+}
+
+TEST(RngTest, SampleWithoutReplacementRejectsOverdraw) {
+  Rng rng(43);
+  EXPECT_THROW((void)rng.sample_without_replacement(3, 4),
+               std::invalid_argument);
+}
+
+TEST(RngTest, ForkDecorrelatesStreams) {
+  Rng base(47);
+  Rng a = base.fork(1);
+  Rng b = base.fork(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.uniform() == b.uniform()) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(RngTest, ForkIsDeterministic) {
+  Rng base(47);
+  Rng a = base.fork(9);
+  Rng b = base.fork(9);
+  for (int i = 0; i < 50; ++i) EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
+}
+
+TEST(XoshiroTest, KnownSeedProducesStableStream) {
+  // Regression guard: the stream below must never change, or every
+  // experiment in EXPERIMENTS.md silently loses reproducibility.
+  Xoshiro256pp gen(42);
+  const std::uint64_t first = gen.next();
+  Xoshiro256pp gen2(42);
+  EXPECT_EQ(gen2.next(), first);
+  EXPECT_NE(gen.next(), first);
+}
+
+// --------------------------------------------------------------- interp.h
+
+TEST(PiecewiseLinearTest, ExactAtKnots) {
+  PiecewiseLinear f({0.0, 1.0, 2.0}, {5.0, 7.0, 3.0});
+  EXPECT_DOUBLE_EQ(f(0.0), 5.0);
+  EXPECT_DOUBLE_EQ(f(1.0), 7.0);
+  EXPECT_DOUBLE_EQ(f(2.0), 3.0);
+}
+
+TEST(PiecewiseLinearTest, LinearBetweenKnots) {
+  PiecewiseLinear f({0.0, 2.0}, {0.0, 4.0});
+  EXPECT_DOUBLE_EQ(f(0.5), 1.0);
+  EXPECT_DOUBLE_EQ(f(1.5), 3.0);
+}
+
+TEST(PiecewiseLinearTest, ClampedOutsideDomain) {
+  PiecewiseLinear f({1.0, 2.0}, {10.0, 20.0});
+  EXPECT_DOUBLE_EQ(f(0.0), 10.0);
+  EXPECT_DOUBLE_EQ(f(3.0), 20.0);
+}
+
+TEST(PiecewiseLinearTest, DerivativeOfSegments) {
+  PiecewiseLinear f({0.0, 1.0, 3.0}, {0.0, 2.0, 0.0});
+  EXPECT_DOUBLE_EQ(f.derivative(0.5), 2.0);
+  EXPECT_DOUBLE_EQ(f.derivative(2.0), -1.0);
+  EXPECT_DOUBLE_EQ(f.derivative(-1.0), 0.0);
+  EXPECT_DOUBLE_EQ(f.derivative(4.0), 0.0);
+}
+
+TEST(PiecewiseLinearTest, IntegralExactForTriangle) {
+  PiecewiseLinear f({0.0, 1.0, 2.0}, {0.0, 1.0, 0.0});
+  EXPECT_NEAR(f.integral(0.0, 2.0), 1.0, 1e-12);
+  EXPECT_NEAR(f.integral(0.0, 1.0), 0.5, 1e-12);
+}
+
+TEST(PiecewiseLinearTest, IntegralWithClampedTails) {
+  PiecewiseLinear f({0.0, 1.0}, {2.0, 2.0});
+  EXPECT_NEAR(f.integral(-1.0, 2.0), 6.0, 1e-12);
+}
+
+TEST(PiecewiseLinearTest, RejectsNonIncreasingKnots) {
+  EXPECT_THROW(PiecewiseLinear({0.0, 0.0}, {1.0, 2.0}),
+               std::invalid_argument);
+  EXPECT_THROW(PiecewiseLinear({1.0, 0.0}, {1.0, 2.0}),
+               std::invalid_argument);
+}
+
+TEST(PiecewiseLinearTest, RejectsSizeMismatch) {
+  EXPECT_THROW(PiecewiseLinear({0.0, 1.0, 2.0}, {1.0, 2.0}),
+               std::invalid_argument);
+}
+
+TEST(PiecewiseLinearTest, RejectsSingleKnot) {
+  EXPECT_THROW(PiecewiseLinear({0.0}, {1.0}), std::invalid_argument);
+}
+
+TEST(MonotoneCubicTest, ExactAtKnots) {
+  MonotoneCubicSpline f({0.0, 1.0, 2.0, 3.0}, {0.0, 1.0, 4.0, 9.0});
+  for (double x : {0.0, 1.0, 2.0, 3.0}) {
+    EXPECT_NEAR(f(x), x * x, 1e-12);
+  }
+}
+
+TEST(MonotoneCubicTest, PreservesMonotonicity) {
+  // Data with a sharp step; a natural cubic would overshoot here.
+  MonotoneCubicSpline f({0.0, 1.0, 2.0, 3.0}, {0.0, 0.0, 5.0, 5.0});
+  double prev = f(0.0);
+  for (double x = 0.01; x <= 3.0; x += 0.01) {
+    const double y = f(x);
+    EXPECT_GE(y, prev - 1e-12) << "non-monotone at x=" << x;
+    prev = y;
+  }
+}
+
+TEST(MonotoneCubicTest, ClampedOutsideDomain) {
+  MonotoneCubicSpline f({0.0, 1.0}, {3.0, 4.0});
+  EXPECT_DOUBLE_EQ(f(-1.0), 3.0);
+  EXPECT_DOUBLE_EQ(f(2.0), 4.0);
+}
+
+TEST(MonotoneCubicTest, DerivativeSignMatchesData) {
+  MonotoneCubicSpline f({0.0, 1.0, 2.0}, {0.0, 2.0, 3.0});
+  EXPECT_GE(f.derivative(0.5), 0.0);
+  EXPECT_GE(f.derivative(1.5), 0.0);
+}
+
+// ---------------------------------------------------------------- stats.h
+
+TEST(StatsTest, MeanAndVariance) {
+  const std::vector<double> v{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(mean(v), 2.5);
+  EXPECT_NEAR(variance(v), 5.0 / 3.0, 1e-12);
+  EXPECT_NEAR(stddev(v), std::sqrt(5.0 / 3.0), 1e-12);
+}
+
+TEST(StatsTest, MedianOddAndEven) {
+  EXPECT_DOUBLE_EQ(median({3.0, 1.0, 2.0}), 2.0);
+  EXPECT_DOUBLE_EQ(median({4.0, 1.0, 3.0, 2.0}), 2.5);
+}
+
+TEST(StatsTest, MedianSingleElement) {
+  EXPECT_DOUBLE_EQ(median({42.0}), 42.0);
+}
+
+TEST(StatsTest, QuantileEndpointsAndMidpoint) {
+  const std::vector<double> v{1.0, 2.0, 3.0, 4.0, 5.0};
+  EXPECT_DOUBLE_EQ(quantile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 0.25), 2.0);
+}
+
+TEST(StatsTest, QuantileInterpolates) {
+  const std::vector<double> v{0.0, 10.0};
+  EXPECT_DOUBLE_EQ(quantile(v, 0.3), 3.0);
+}
+
+TEST(StatsTest, EmptyInputsThrow) {
+  EXPECT_THROW((void)mean({}), std::invalid_argument);
+  EXPECT_THROW((void)median({}), std::invalid_argument);
+  EXPECT_THROW((void)quantile({}, 0.5), std::invalid_argument);
+  EXPECT_THROW((void)variance({1.0}), std::invalid_argument);
+}
+
+TEST(EmpiricalCdfTest, StepFunctionValues) {
+  EmpiricalCdf cdf({1.0, 2.0, 3.0, 4.0});
+  EXPECT_DOUBLE_EQ(cdf(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(cdf(1.0), 0.25);
+  EXPECT_DOUBLE_EQ(cdf(2.5), 0.5);
+  EXPECT_DOUBLE_EQ(cdf(4.0), 1.0);
+  EXPECT_DOUBLE_EQ(cdf(9.0), 1.0);
+}
+
+TEST(EmpiricalCdfTest, InverseIsLeftInverse) {
+  EmpiricalCdf cdf({5.0, 1.0, 3.0});  // sorted internally
+  EXPECT_DOUBLE_EQ(cdf.inverse(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.inverse(1.0), 5.0);
+  EXPECT_DOUBLE_EQ(cdf.inverse(0.34), 3.0);
+}
+
+TEST(EmpiricalCdfTest, SurvivalComplement) {
+  EmpiricalCdf cdf({1.0, 2.0, 3.0, 4.0});
+  EXPECT_DOUBLE_EQ(cdf.survival(2.0), 0.5);
+  EXPECT_DOUBLE_EQ(cdf.survival(0.0), 1.0);
+}
+
+TEST(EmpiricalCdfTest, InverseSurvivalRoundTrip) {
+  // For the radius<->percentile maps: inverse(1-p) must keep exactly the
+  // (1-p) mass at or below the returned radius.
+  EmpiricalCdf cdf({1, 2, 3, 4, 5, 6, 7, 8, 9, 10});
+  for (double p : {0.1, 0.2, 0.3, 0.5}) {
+    const double r = cdf.inverse(1.0 - p);
+    EXPECT_NEAR(cdf.survival(r), p, 0.10001);
+    EXPECT_LE(cdf.survival(r), p + 1e-12);
+  }
+}
+
+TEST(SummaryTest, AllFieldsPopulated) {
+  const Summary s = summarize({1.0, 5.0, 3.0});
+  EXPECT_EQ(s.count, 3u);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.median, 3.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+}
+
+// ------------------------------------------------------------------ csv.h
+
+TEST(CsvTest, ParsesSimpleNumericCsv) {
+  const auto rows = parse_numeric_csv("1,2,3\n4,5,6\n");
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_DOUBLE_EQ(rows[0][2], 3.0);
+  EXPECT_DOUBLE_EQ(rows[1][0], 4.0);
+}
+
+TEST(CsvTest, SkipsBlankLinesAndCrLf) {
+  const auto rows = parse_numeric_csv("1,2\r\n\n3,4\r\n");
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_DOUBLE_EQ(rows[1][1], 4.0);
+}
+
+TEST(CsvTest, RejectsRaggedRows) {
+  EXPECT_THROW((void)parse_numeric_csv("1,2\n3\n"), std::invalid_argument);
+}
+
+TEST(CsvTest, RejectsNonNumeric) {
+  EXPECT_THROW((void)parse_numeric_csv("1,abc\n"), std::invalid_argument);
+}
+
+TEST(CsvTest, FormatRoundTrip) {
+  const std::vector<std::vector<double>> rows{{1.5, 2.5}, {3.0, 4.0}};
+  const std::string text = format_csv({"a", "b"}, rows);
+  const auto parsed = parse_numeric_csv(
+      text.substr(text.find('\n') + 1));  // drop header
+  ASSERT_EQ(parsed.size(), 2u);
+  EXPECT_DOUBLE_EQ(parsed[0][0], 1.5);
+  EXPECT_DOUBLE_EQ(parsed[1][1], 4.0);
+}
+
+TEST(CsvTest, MissingFileThrowsAndExistsIsFalse) {
+  EXPECT_THROW((void)load_numeric_csv("/nonexistent/x.csv"),
+               std::runtime_error);
+  EXPECT_FALSE(file_exists("/nonexistent/x.csv"));
+}
+
+// ---------------------------------------------------------------- table.h
+
+TEST(TableTest, RendersAlignedColumns) {
+  TextTable t({"name", "v"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "22"});
+  const std::string s = t.str();
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("22"), std::string::npos);
+}
+
+TEST(TableTest, RejectsWidthMismatch) {
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(TableTest, NumericRowFormatting) {
+  TextTable t({"x"});
+  t.add_numeric_row({1.23456}, 2);
+  EXPECT_NE(t.str().find("1.23"), std::string::npos);
+}
+
+TEST(FormatTest, PercentFormatting) {
+  EXPECT_EQ(format_percent(0.058), "5.8%");
+  EXPECT_EQ(format_percent(0.512), "51.2%");
+  EXPECT_EQ(format_percent(1.0, 0), "100%");
+}
+
+TEST(StopwatchTest, MeasuresNonNegativeTime) {
+  Stopwatch w;
+  EXPECT_GE(w.elapsed_seconds(), 0.0);
+  EXPECT_GE(w.elapsed_ms(), 0.0);
+}
+
+}  // namespace
+}  // namespace pg::util
