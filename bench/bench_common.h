@@ -8,12 +8,17 @@
 //                       verified by SvmTest.MoreEpochsDoNotHurtObjective)
 //   PG_BENCH_SEED       experiment seed    (default 42)
 //   PG_BENCH_REPS       sweep replications (default 2)
+//   PG_BENCH_THREADS    runtime executor threads (default 0 = all cores;
+//                       1 = serial). Results are bit-identical at every
+//                       setting -- the runtime's determinism contract.
 #pragma once
 
 #include <cstdlib>
 #include <iostream>
+#include <memory>
 #include <string>
 
+#include "runtime/executor.h"
 #include "sim/experiment.h"
 
 namespace pg::bench {
@@ -33,6 +38,14 @@ inline sim::ExperimentConfig paper_config() {
 }
 
 inline std::size_t sweep_reps() { return env_size("PG_BENCH_REPS", 2); }
+
+/// The bench-wide executor: every sweep/grid entry point takes its .get().
+inline std::unique_ptr<runtime::Executor> bench_executor() {
+  auto exec = sim::make_executor(env_size("PG_BENCH_THREADS", 0));
+  std::cout << "executor threads: " << exec->concurrency()
+            << " (override with PG_BENCH_THREADS)\n";
+  return exec;
+}
 
 inline void print_context(const sim::ExperimentContext& ctx) {
   std::cout << "corpus: " << ctx.corpus_source

@@ -25,9 +25,11 @@ int main() {
   util::Stopwatch watch;
   const sim::ExperimentContext ctx = sim::prepare_experiment(cfg);
   bench::print_context(ctx);
+  const auto exec = bench::bench_executor();
 
   const auto grid = sim::sweep_grid(0.40, 9);
-  const auto sweep = sim::run_pure_sweep(ctx, grid, bench::sweep_reps());
+  const auto sweep =
+      sim::run_pure_sweep(ctx, grid, bench::sweep_reps(), exec.get());
 
   util::TextTable table({"% removed by filter", "accuracy (no attack)",
                          "accuracy (optimal attack)", "poison survived"});

@@ -23,15 +23,16 @@ int main() {
   util::Stopwatch watch;
   const sim::ExperimentContext ctx = sim::prepare_experiment(cfg);
   bench::print_context(ctx);
+  const auto exec = bench::bench_executor();
 
-  const auto sweep =
-      sim::run_pure_sweep(ctx, sim::sweep_grid(0.40, 9), bench::sweep_reps());
+  const auto sweep = sim::run_pure_sweep(ctx, sim::sweep_grid(0.40, 9),
+                                         bench::sweep_reps(), exec.get());
   const auto curves = sim::fit_payoff_curves(sweep);
   const core::PoisoningGame game(curves, ctx.poison_budget);
 
   sim::MixedEvalConfig ecfg;
   ecfg.draws = 2;
-  const auto rows = sim::run_support_sweep(ctx, game, 5, {}, ecfg);
+  const auto rows = sim::run_support_sweep(ctx, game, 5, {}, ecfg, exec.get());
 
   util::TextTable t({"n", "mixed strategy", "predicted loss",
                      "adversarial accuracy", "solve time (ms)",

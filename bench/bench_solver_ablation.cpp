@@ -92,8 +92,9 @@ int main() {
   cfg.corpus.n_instances = std::min<std::size_t>(cfg.corpus.n_instances, 1500);
   cfg.svm.epochs = std::min<std::size_t>(cfg.svm.epochs, 120);
   const sim::ExperimentContext ctx = sim::prepare_experiment(cfg);
-  const auto sweep =
-      sim::run_pure_sweep(ctx, sim::sweep_grid(0.40, 9), bench::sweep_reps());
+  const auto exec = bench::bench_executor();
+  const auto sweep = sim::run_pure_sweep(ctx, sim::sweep_grid(0.40, 9),
+                                         bench::sweep_reps(), exec.get());
   ablate("measured curves (Spambase-like sweep), N=" +
              std::to_string(ctx.poison_budget),
          core::PoisoningGame(sim::fit_payoff_curves(sweep),

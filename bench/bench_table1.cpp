@@ -30,11 +30,17 @@ int main() {
   util::Stopwatch watch;
   const sim::ExperimentContext ctx = sim::prepare_experiment(cfg);
   bench::print_context(ctx);
+  const auto exec = bench::bench_executor();
+  // The n=2 and n=3 evaluations share a payoff cache: support points
+  // common to both strategies retrain once.
+  runtime::PayoffCache cache;
+  const runtime::PayoffEvaluator evaluator(*exec, &cache);
 
   // Inputs to Algorithm 1: E(p) and Gamma(p) approximated from the Fig-1
   // sweep, exactly as in the paper's section 5.
   const auto grid = sim::sweep_grid(0.40, 9);
-  const auto sweep = sim::run_pure_sweep(ctx, grid, bench::sweep_reps());
+  const auto sweep =
+      sim::run_pure_sweep(ctx, grid, bench::sweep_reps(), exec.get());
   const auto curves = sim::fit_payoff_curves(sweep);
   const core::PoisoningGame game(curves, ctx.poison_budget);
   const auto pure = sim::best_pure_defense(sweep);
@@ -47,7 +53,8 @@ int main() {
 
     sim::MixedEvalConfig ecfg;
     ecfg.draws = 3;
-    const auto eval = sim::evaluate_mixed_defense(ctx, sol.strategy, ecfg);
+    const auto eval =
+        sim::evaluate_mixed_defense(ctx, sol.strategy, ecfg, evaluator);
 
     std::cout << "--- n = " << n << " radii ---\n";
     util::TextTable t({"radius (removal %)", "probability"});
@@ -69,6 +76,8 @@ int main() {
     std::cout << "accuracy with no attack:        "
               << util::format_percent(eval.no_attack_accuracy, 2) << "\n\n";
   }
+  std::cout << "payoff cache: " << cache.size() << " cells trained, "
+            << evaluator.cache_hits() << " served from cache\n\n";
 
   // The paper's comparison claim.
   double best_pure_predicted = 1e300;

@@ -54,12 +54,14 @@ int main() {
   sim::TransferConfig tcfg;
   tcfg.eval.draws = 2;
   tcfg.sweep_replications = bench::sweep_reps();
+  const auto exec = bench::bench_executor();
 
   util::TextTable table({"target", "source strategy on target",
                          "native strategy on target", "transfer gap"});
   for (const auto& target : targets) {
     const auto ctx = sim::prepare_experiment(target.cfg);
-    const auto result = sim::run_transfer_experiment(source, ctx, tcfg);
+    const auto result =
+        sim::run_transfer_experiment(source, ctx, tcfg, exec.get());
     table.add_row({target.name,
                    util::format_percent(result.transferred_accuracy, 2),
                    util::format_percent(result.native_accuracy, 2),

@@ -10,11 +10,12 @@ namespace pg::core {
 
 AttackerEquilibrium attacker_equilibrium_lp(const PoisoningGame& game,
                                             std::size_t grid,
-                                            double mass_floor) {
+                                            double mass_floor,
+                                            runtime::Executor* executor) {
   PG_CHECK(grid >= 2, "grid must be >= 2");
   PG_CHECK(mass_floor >= 0.0, "mass_floor must be >= 0");
   const auto placements = game.placement_grid(grid);
-  const auto mg = game.discretize(grid, grid);
+  const auto mg = game.discretize(grid, grid, executor);
   const auto eq = game::solve_lp_equilibrium(mg);
 
   std::vector<double> support;

@@ -15,6 +15,10 @@
 #include "core/game_model.h"
 #include "defense/mixed_defense.h"
 
+namespace pg::runtime {
+class Executor;
+}
+
 namespace pg::core {
 
 struct AttackerEquilibrium {
@@ -24,10 +28,12 @@ struct AttackerEquilibrium {
 
 /// (1) Exact route: solve the discretized game by LP and compress the row
 /// strategy's support (probability mass below `mass_floor` is dropped and
-/// the remainder renormalized).
+/// the remainder renormalized). The grid x grid payoff matrix is built
+/// through runtime::PayoffEvaluator; `executor` (null -> serial)
+/// parallelizes the fill.
 [[nodiscard]] AttackerEquilibrium attacker_equilibrium_lp(
     const PoisoningGame& game, std::size_t grid = 128,
-    double mass_floor = 1e-6);
+    double mass_floor = 1e-6, runtime::Executor* executor = nullptr);
 
 /// (2) Structural route: given the defender's equilibrium support
 /// p_1 < ... < p_n with probabilities q, the defender is indifferent

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "runtime/payoff_evaluator.h"
 #include "util/error.h"
 
 namespace pg::core {
@@ -77,16 +78,20 @@ std::vector<double> PoisoningGame::placement_grid(std::size_t size) const {
 }
 
 game::MatrixGame PoisoningGame::discretize(std::size_t attacker_grid,
-                                           std::size_t defender_grid) const {
+                                           std::size_t defender_grid,
+                                           runtime::Executor* executor) const {
   const auto psis = placement_grid(attacker_grid);
   const auto thetas = placement_grid(defender_grid);
-  la::Matrix payoff(attacker_grid, defender_grid);
-  for (std::size_t i = 0; i < attacker_grid; ++i) {
-    const Allocation sa{{psis[i], n_}};
-    for (std::size_t j = 0; j < defender_grid; ++j) {
-      payoff(i, j) = attacker_payoff(sa, thetas[j]);
-    }
-  }
+  // Single construction path for payoff matrices: the runtime evaluator.
+  // Closed-form cells, so no cache (a lookup costs as much as the cell)
+  // and whole-row grain so chunk dispatch amortizes.
+  const runtime::PayoffEvaluator evaluator(
+      runtime::executor_or_serial(executor), nullptr, defender_grid);
+  la::Matrix payoff = evaluator.evaluate_matrix(
+      attacker_grid, defender_grid, [&](std::size_t flat) {
+        const Allocation sa{{psis[flat / defender_grid], n_}};
+        return attacker_payoff(sa, thetas[flat % defender_grid]);
+      });
   return game::MatrixGame(std::move(payoff));
 }
 

@@ -18,6 +18,10 @@
 #include "core/payoff.h"
 #include "game/matrix_game.h"
 
+namespace pg::runtime {
+class Executor;
+}
+
 namespace pg::core {
 
 /// One [placement, count] element of the attacker's allocation, in
@@ -67,8 +71,11 @@ class PoisoningGame {
 
   /// Discretize onto uniform grids: rows = attacker all-in placements,
   /// cols = defender filter strengths. Row payoff = attacker payoff.
-  [[nodiscard]] game::MatrixGame discretize(std::size_t attacker_grid,
-                                            std::size_t defender_grid) const;
+  /// The grid is filled through runtime::PayoffEvaluator; `executor`
+  /// (null -> serial) parallelizes the fill with bit-identical results.
+  [[nodiscard]] game::MatrixGame discretize(
+      std::size_t attacker_grid, std::size_t defender_grid,
+      runtime::Executor* executor = nullptr) const;
 
   /// The placement grid used by discretize() for the given size.
   [[nodiscard]] std::vector<double> placement_grid(std::size_t size) const;

@@ -9,8 +9,9 @@
 namespace pg::core {
 
 PureNeReport analyze_pure_equilibria(const PoisoningGame& game,
-                                     std::size_t grid) {
-  const game::MatrixGame mg = game.discretize(grid, grid);
+                                     std::size_t grid,
+                                     runtime::Executor* executor) {
+  const game::MatrixGame mg = game.discretize(grid, grid, executor);
   PureNeReport report;
   report.maximin = mg.maximin_value();
   report.minimax = mg.minimax_value();

@@ -16,6 +16,10 @@
 #include "core/game_model.h"
 #include "defense/mixed_defense.h"
 
+namespace pg::runtime {
+class Executor;
+}
+
 namespace pg::core {
 
 struct PureNeReport {
@@ -25,9 +29,11 @@ struct PureNeReport {
   std::size_t saddle_points = 0;
 };
 
-/// Discretize and scan for saddle points.
-[[nodiscard]] PureNeReport analyze_pure_equilibria(const PoisoningGame& game,
-                                                   std::size_t grid = 64);
+/// Discretize (through runtime::PayoffEvaluator; `executor` null -> serial)
+/// and scan for saddle points.
+[[nodiscard]] PureNeReport analyze_pure_equilibria(
+    const PoisoningGame& game, std::size_t grid = 64,
+    runtime::Executor* executor = nullptr);
 
 struct IndifferenceReport {
   bool properly_mixed = false;

@@ -1,0 +1,86 @@
+#include "runtime/executor.h"
+
+#include <condition_variable>
+#include <exception>
+#include <memory>
+#include <mutex>
+
+#include "util/error.h"
+
+namespace pg::runtime {
+
+void SerialExecutor::parallel_for(std::size_t begin, std::size_t end,
+                                  std::size_t grain,
+                                  const std::function<void(std::size_t)>& fn) {
+  PG_CHECK(fn != nullptr, "parallel_for: null body");
+  (void)grain;  // chunking is a scheduling concern; serially it is a no-op
+  for (std::size_t i = begin; i < end; ++i) fn(i);
+}
+
+namespace {
+
+/// Shared completion state for one parallel_for call.
+struct LoopState {
+  std::mutex mutex;
+  std::condition_variable done;
+  std::size_t pending = 0;
+  std::exception_ptr error;  // first failure wins
+};
+
+/// The executor whose pool the current thread is a worker of, if any.
+/// Guards against the classic nested-parallel_for deadlock: a loop body
+/// that calls parallel_for on its own executor would block a worker on
+/// sub-chunks that can only run on (already blocked) workers.
+thread_local const ThreadPoolExecutor* tls_running_on = nullptr;
+
+}  // namespace
+
+void ThreadPoolExecutor::parallel_for(
+    std::size_t begin, std::size_t end, std::size_t grain,
+    const std::function<void(std::size_t)>& fn) {
+  PG_CHECK(fn != nullptr, "parallel_for: null body");
+  if (end <= begin) return;
+  if (grain == 0) grain = 1;
+
+  const std::size_t count = end - begin;
+  const std::size_t chunks = (count + grain - 1) / grain;
+  if (chunks == 1 || pool_.size() == 1 || tls_running_on == this) {
+    // Run inline when dispatch buys nothing (one chunk, one worker) or
+    // would deadlock (nested call from one of our own workers: the
+    // sub-chunks could only run on workers that are themselves blocked).
+    // Identical results by the determinism contract.
+    for (std::size_t i = begin; i < end; ++i) fn(i);
+    return;
+  }
+
+  auto state = std::make_shared<LoopState>();
+  state->pending = chunks;
+
+  for (std::size_t c = 0; c < chunks; ++c) {
+    const std::size_t lo = begin + c * grain;
+    const std::size_t hi = lo + grain < end ? lo + grain : end;
+    pool_.submit([this, state, lo, hi, &fn] {
+      tls_running_on = this;
+      try {
+        for (std::size_t i = lo; i < hi; ++i) fn(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(state->mutex);
+        if (!state->error) state->error = std::current_exception();
+      }
+      tls_running_on = nullptr;
+      std::lock_guard<std::mutex> lock(state->mutex);
+      if (--state->pending == 0) state->done.notify_all();
+    });
+  }
+
+  std::unique_lock<std::mutex> lock(state->mutex);
+  state->done.wait(lock, [&state] { return state->pending == 0; });
+  if (state->error) std::rethrow_exception(state->error);
+}
+
+Executor& serial_executor() noexcept {
+  static SerialExecutor instance;
+  return instance;
+}
+
+}  // namespace pg::runtime

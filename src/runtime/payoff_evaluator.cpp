@@ -1,0 +1,102 @@
+#include "runtime/payoff_evaluator.h"
+
+#include "util/error.h"
+
+namespace pg::runtime {
+
+ContentKey& ContentKey::mix(std::uint64_t word) noexcept {
+  // FNV-1a, one byte at a time over the word.
+  for (int b = 0; b < 8; ++b) {
+    state_ ^= (word >> (8 * b)) & 0xFFU;
+    state_ *= 0x100000001B3ULL;  // FNV-1a 64-bit prime
+  }
+  return *this;
+}
+
+ContentKey& ContentKey::mix(double value) noexcept {
+  std::uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(value));
+  __builtin_memcpy(&bits, &value, sizeof(bits));
+  return mix(bits);
+}
+
+std::uint64_t ContentKey::digest() const noexcept {
+  // SplitMix64 finalizer: avalanches the FNV state so near-equal inputs
+  // (adjacent grid fractions) land in unrelated cache buckets and RNG
+  // stream indices.
+  std::uint64_t z = state_ + 0x9E3779B97F4A7C15ULL;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+bool PayoffCache::lookup(std::uint64_t key, double& value) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = map_.find(key);
+  if (it == map_.end()) return false;
+  value = it->second;
+  return true;
+}
+
+void PayoffCache::store(std::uint64_t key, double value) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  map_.emplace(key, value);
+}
+
+std::size_t PayoffCache::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return map_.size();
+}
+
+void PayoffCache::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  map_.clear();
+}
+
+std::vector<double> PayoffEvaluator::evaluate_cells(std::size_t count,
+                                                    const CellFn& cell,
+                                                    const KeyFn& key) const {
+  PG_CHECK(cell != nullptr, "PayoffEvaluator: null cell function");
+  std::vector<double> values(count, 0.0);
+  executor_.parallel_for(0, count, grain_, [&](std::size_t i) {
+    if (cache_ != nullptr && key) {
+      const std::uint64_t k = key(i);
+      double cached = 0.0;
+      if (cache_->lookup(k, cached)) {
+        values[i] = cached;
+        hits_.fetch_add(1, std::memory_order_relaxed);
+        return;
+      }
+      values[i] = cell(i);
+      computed_.fetch_add(1, std::memory_order_relaxed);
+      cache_->store(k, values[i]);
+      return;
+    }
+    values[i] = cell(i);
+    computed_.fetch_add(1, std::memory_order_relaxed);
+  });
+  return values;
+}
+
+la::Matrix PayoffEvaluator::evaluate_matrix(std::size_t rows,
+                                            std::size_t cols,
+                                            const CellFn& cell,
+                                            const KeyFn& key) const {
+  PG_CHECK(rows > 0 && cols > 0, "PayoffEvaluator: empty matrix");
+  const std::vector<double> values = evaluate_cells(rows * cols, cell, key);
+  la::Matrix m(rows, cols);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) m(r, c) = values[r * cols + c];
+  }
+  return m;
+}
+
+std::size_t PayoffEvaluator::cache_hits() const noexcept {
+  return hits_.load(std::memory_order_relaxed);
+}
+
+std::size_t PayoffEvaluator::cells_computed() const noexcept {
+  return computed_.load(std::memory_order_relaxed);
+}
+
+}  // namespace pg::runtime

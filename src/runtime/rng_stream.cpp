@@ -1,0 +1,28 @@
+#include "runtime/rng_stream.h"
+
+namespace pg::runtime {
+
+namespace {
+
+// Weyl increment of SplitMix64; also used by util::Rng as its default seed.
+constexpr std::uint64_t kGolden = 0x9E3779B97F4A7C15ULL;
+
+}  // namespace
+
+std::uint64_t RngStreamFactory::derive_seed(
+    std::uint64_t index) const noexcept {
+  // Jump the SplitMix64 Weyl sequence of `base_` to position `index + 1`
+  // (state advances by kGolden per draw, so the jump is a multiply), then
+  // run the avalanche output twice. Distinct indices give distinct states,
+  // and the double mix kills the low-entropy structure of small indices.
+  util::SplitMix64 mixer(base_ + kGolden * (index + 1));
+  const std::uint64_t once = mixer.next();
+  return once ^ mixer.next();
+}
+
+std::uint64_t RngStreamFactory::derive_seed(std::uint64_t i,
+                                            std::uint64_t j) const noexcept {
+  return RngStreamFactory(derive_seed(i)).derive_seed(j);
+}
+
+}  // namespace pg::runtime

@@ -1,0 +1,55 @@
+#include "runtime/thread_pool.h"
+
+#include <utility>
+
+#include "util/error.h"
+
+namespace pg::runtime {
+
+std::size_t default_thread_count() noexcept {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  const std::size_t n = threads == 0 ? default_thread_count() : threads;
+  workers_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  PG_CHECK(task != nullptr, "ThreadPool::submit: null task");
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    PG_CHECK(!stop_, "ThreadPool::submit after shutdown");
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (stop_) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();  // exceptions are the task's responsibility (see executor.cpp)
+  }
+}
+
+}  // namespace pg::runtime

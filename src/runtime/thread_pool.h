@@ -1,0 +1,54 @@
+// Fixed-size worker pool with a FIFO task queue.
+//
+// The pool is the low-level engine behind runtime::ThreadPoolExecutor; it
+// knows nothing about loops, RNG streams, or payoffs -- it just runs
+// std::function<void()> tasks on a fixed set of threads. Completion
+// tracking, chunking, and exception propagation live in executor.h, where
+// the blocking parallel_for is implemented.
+//
+// Threads are joined in the destructor after the queue drains of running
+// tasks; tasks still queued but not started are discarded on shutdown
+// (every user in this library blocks until its own tasks finish, so
+// nothing is lost in practice).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace pg::runtime {
+
+/// Number of workers to use when the caller does not care: the hardware
+/// concurrency, with a floor of 1 (hardware_concurrency may return 0).
+[[nodiscard]] std::size_t default_thread_count() noexcept;
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers immediately. 0 means default_thread_count().
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
+
+  /// Enqueue a task. Never blocks; tasks run in FIFO order per worker
+  /// pick-up. Must not be called after destruction has begun.
+  void submit(std::function<void()> task);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+}  // namespace pg::runtime

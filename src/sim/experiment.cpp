@@ -3,6 +3,7 @@
 #include "attack/attack.h"
 #include "defense/pipeline.h"
 #include "ml/metrics.h"
+#include "runtime/payoff_evaluator.h"
 #include "util/error.h"
 
 namespace pg::sim {
@@ -44,6 +45,49 @@ ExperimentConfig fast_config(std::uint64_t seed) {
   cfg.svm.epochs = 60;
   cfg.try_real_corpus = false;
   return cfg;
+}
+
+std::uint64_t context_fingerprint(const ExperimentContext& ctx) {
+  const ExperimentConfig& cfg = ctx.config;
+  runtime::ContentKey key;
+  key.mix(cfg.seed)
+      .mix(static_cast<std::uint64_t>(cfg.corpus.n_instances))
+      .mix(static_cast<std::uint64_t>(cfg.corpus.n_features))
+      .mix(cfg.corpus.positive_fraction)
+      .mix(static_cast<std::uint64_t>(cfg.corpus.n_spam_words))
+      .mix(static_cast<std::uint64_t>(cfg.corpus.n_ham_words))
+      .mix(cfg.corpus.active_in_class)
+      .mix(cfg.corpus.active_out_class)
+      .mix(cfg.corpus.word_log_mu)
+      .mix(cfg.corpus.word_log_sigma)
+      .mix(cfg.corpus.generic_active)
+      .mix(cfg.corpus.class_separation)
+      .mix(cfg.corpus.intensity_sigma)
+      .mix(cfg.corpus.express_scale)
+      .mix(cfg.train_fraction)
+      .mix(cfg.poison_fraction)
+      .mix(static_cast<std::uint64_t>(cfg.svm.epochs))
+      .mix(cfg.svm.lambda)
+      .mix(static_cast<std::uint64_t>(cfg.svm.average))
+      .mix(static_cast<std::uint64_t>(cfg.centroid.method))
+      .mix(cfg.centroid.trim_fraction)
+      .mix(static_cast<std::uint64_t>(ctx.train.size()))
+      .mix(static_cast<std::uint64_t>(ctx.test.size()))
+      .mix(static_cast<std::uint64_t>(ctx.poison_budget))
+      // Distinguish real-corpus contexts from synthetic ones with the
+      // same config: the source path, plus the measured clean accuracy
+      // as a cheap proxy for the corpus CONTENT (two different files at
+      // the same path/shape virtually never train to the same double).
+      .mix(ctx.clean_accuracy);
+  for (const char c : ctx.corpus_source) {
+    key.mix(static_cast<std::uint64_t>(static_cast<unsigned char>(c)));
+  }
+  return key.digest();
+}
+
+std::unique_ptr<runtime::Executor> make_executor(std::size_t threads) {
+  if (threads == 1) return std::make_unique<runtime::SerialExecutor>();
+  return std::make_unique<runtime::ThreadPoolExecutor>(threads);
 }
 
 }  // namespace pg::sim

@@ -8,12 +8,14 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 
 #include "data/dataset.h"
 #include "data/loader.h"
 #include "defense/centroid.h"
 #include "ml/svm.h"
+#include "runtime/executor.h"
 #include "util/rng.h"
 
 namespace pg::sim {
@@ -48,5 +50,20 @@ struct ExperimentContext {
 /// A small/fast configuration used by integration tests: a reduced corpus
 /// and a cheap SVM, preserving all structural properties of the full run.
 [[nodiscard]] ExperimentConfig fast_config(std::uint64_t seed = 42);
+
+/// Content hash of everything a pipeline cell's payoff depends on through
+/// the context: seed, corpus generator knobs, split sizes, poison budget,
+/// and the SVM/centroid configuration. Combined with the per-cell knobs
+/// (filter strength, attack placement, replication) it forms the
+/// runtime::PayoffCache key, so a cache entry can never be reused across
+/// contexts that could produce different payoffs.
+[[nodiscard]] std::uint64_t context_fingerprint(const ExperimentContext& ctx);
+
+/// Executor factory for harnesses (benches, examples) driven by a thread
+/// count: 1 -> nullptr semantics are inconvenient, so this returns a real
+/// SerialExecutor for 1, a hardware-sized pool for 0, and an n-thread pool
+/// otherwise. Sweep entry points accept the raw pointer via .get().
+[[nodiscard]] std::unique_ptr<runtime::Executor> make_executor(
+    std::size_t threads);
 
 }  // namespace pg::sim

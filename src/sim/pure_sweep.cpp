@@ -3,6 +3,7 @@
 #include "attack/boundary_attack.h"
 #include "defense/distance_filter.h"
 #include "defense/pipeline.h"
+#include "runtime/rng_stream.h"
 #include "util/error.h"
 #include "util/logging.h"
 
@@ -20,9 +21,21 @@ std::vector<double> sweep_grid(double max_fraction, std::size_t steps) {
   return grid;
 }
 
+namespace {
+
+/// Per-(grid point, replication) measurements, filled cell-parallel.
+struct SweepCell {
+  double accuracy_no_attack = 0.0;
+  double accuracy_attacked = 0.0;
+  double poison_survived = 0.0;
+};
+
+}  // namespace
+
 PureSweepResult run_pure_sweep(const ExperimentContext& ctx,
                                const std::vector<double>& grid,
-                               std::size_t replications) {
+                               std::size_t replications,
+                               runtime::Executor* executor) {
   PG_CHECK(!grid.empty(), "run_pure_sweep: empty grid");
   PG_CHECK(replications >= 1, "replications must be >= 1");
 
@@ -31,46 +44,58 @@ PureSweepResult run_pure_sweep(const ExperimentContext& ctx,
   result.clean_accuracy = ctx.clean_accuracy;
   result.poison_budget = ctx.poison_budget;
 
-  for (std::size_t gi = 0; gi < grid.size(); ++gi) {
+  // One retrain task per (grid point, replication) cell. Every cell draws
+  // its randomness from a stream keyed by its own id, so results do not
+  // depend on which thread runs which cell, or in what order.
+  const runtime::RngStreamFactory streams(ctx.config.seed);
+  const std::size_t cells = grid.size() * replications;
+  std::vector<SweepCell> out(cells);
+  runtime::parallel_for(executor, 0, cells, 1, [&](std::size_t c) {
+    const std::size_t gi = c / replications;
+    const std::size_t rep = c % replications;
     const double p = grid[gi];
+    util::Rng rng = streams.stream(gi, rep);
+
+    defense::DistanceFilterConfig fcfg;
+    fcfg.removal_fraction = p;
+    fcfg.centroid = ctx.config.centroid;
+    const defense::DistanceFilter filter(fcfg);
+    const defense::Filter* filter_ptr = (p > 0.0) ? &filter : nullptr;
+
+    // No-attack arm: Gamma measurement.
+    util::Rng rng_clean = rng.fork(1);
+    out[c].accuracy_no_attack =
+        pipeline.run(ctx.train, ctx.test, nullptr, 0, filter_ptr, rng_clean)
+            .test_accuracy;
+
+    // Attacked arm: the optimal pure attack against a known filter p.
+    attack::BoundaryAttackConfig acfg;
+    acfg.placement_fraction = p;
+    const attack::BoundaryAttack attack(acfg);
+    util::Rng rng_attack = rng.fork(2);
+    const auto res = pipeline.run(ctx.train, ctx.test, &attack,
+                                  ctx.poison_budget, filter_ptr, rng_attack);
+    out[c].accuracy_attacked = res.test_accuracy;
+    out[c].poison_survived = 1.0 - res.detection.recall;
+  });
+
+  // Serial reduction in a fixed order, so the floating-point sums are
+  // identical no matter how the cells were scheduled.
+  const auto reps = static_cast<double>(replications);
+  for (std::size_t gi = 0; gi < grid.size(); ++gi) {
     PureSweepPoint point;
-    point.removal_fraction = p;
-
-    double acc_clean = 0.0;
-    double acc_attack = 0.0;
-    double survived = 0.0;
+    point.removal_fraction = grid[gi];
     for (std::size_t rep = 0; rep < replications; ++rep) {
-      util::Rng rng(ctx.config.seed + 7919 * (rep + 1) + 104729 * gi);
-
-      defense::DistanceFilterConfig fcfg;
-      fcfg.removal_fraction = p;
-      fcfg.centroid = ctx.config.centroid;
-      const defense::DistanceFilter filter(fcfg);
-      const defense::Filter* filter_ptr = (p > 0.0) ? &filter : nullptr;
-
-      // No-attack arm: Gamma measurement.
-      util::Rng rng_clean = rng.fork(1);
-      acc_clean += pipeline
-                       .run(ctx.train, ctx.test, nullptr, 0, filter_ptr,
-                            rng_clean)
-                       .test_accuracy;
-
-      // Attacked arm: the optimal pure attack against a known filter p.
-      attack::BoundaryAttackConfig acfg;
-      acfg.placement_fraction = p;
-      const attack::BoundaryAttack attack(acfg);
-      util::Rng rng_attack = rng.fork(2);
-      const auto res = pipeline.run(ctx.train, ctx.test, &attack,
-                                    ctx.poison_budget, filter_ptr, rng_attack);
-      acc_attack += res.test_accuracy;
-      survived += 1.0 - res.detection.recall;
+      const SweepCell& cell = out[gi * replications + rep];
+      point.accuracy_no_attack += cell.accuracy_no_attack;
+      point.accuracy_attacked += cell.accuracy_attacked;
+      point.poison_survived_fraction += cell.poison_survived;
     }
-    const auto reps = static_cast<double>(replications);
-    point.accuracy_no_attack = acc_clean / reps;
-    point.accuracy_attacked = acc_attack / reps;
-    point.poison_survived_fraction = survived / reps;
+    point.accuracy_no_attack /= reps;
+    point.accuracy_attacked /= reps;
+    point.poison_survived_fraction /= reps;
     result.points.push_back(point);
-    util::log_info() << "sweep p=" << p
+    util::log_info() << "sweep p=" << point.removal_fraction
                      << " clean=" << point.accuracy_no_attack
                      << " attacked=" << point.accuracy_attacked;
   }

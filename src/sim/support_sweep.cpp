@@ -1,5 +1,6 @@
 #include "sim/support_sweep.h"
 
+#include "runtime/payoff_evaluator.h"
 #include "util/error.h"
 #include "util/stopwatch.h"
 
@@ -8,8 +9,13 @@ namespace pg::sim {
 std::vector<SupportSweepRow> run_support_sweep(
     const ExperimentContext& ctx, const core::PoisoningGame& game,
     std::size_t max_n, const core::Algorithm1Config& base_config,
-    const MixedEvalConfig& eval) {
+    const MixedEvalConfig& eval, runtime::Executor* executor) {
   PG_CHECK(max_n >= 1, "max_n must be >= 1");
+
+  runtime::PayoffCache cache;
+  const runtime::PayoffEvaluator evaluator(
+      runtime::executor_or_serial(executor), &cache);
+
   std::vector<SupportSweepRow> rows;
   for (std::size_t n = 1; n <= max_n; ++n) {
     core::Algorithm1Config cfg = base_config;
@@ -19,7 +25,8 @@ std::vector<SupportSweepRow> run_support_sweep(
     const core::DefenseSolution sol = core::compute_optimal_defense(game, cfg);
     const double seconds = watch.elapsed_seconds();
 
-    const MixedEvalResult ev = evaluate_mixed_defense(ctx, sol.strategy, eval);
+    const MixedEvalResult ev =
+        evaluate_mixed_defense(ctx, sol.strategy, eval, evaluator);
     rows.push_back({n, sol.strategy, sol.defender_loss,
                     ev.adversarial_accuracy, seconds, sol.iterations});
   }

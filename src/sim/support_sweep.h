@@ -23,9 +23,13 @@ struct SupportSweepRow {
 };
 
 /// Run Algorithm 1 for each n in [1, max_n] and evaluate empirically.
+/// The n evaluations share one PayoffEvaluator on `executor` (null ->
+/// serial) with a common memo cache: strategies for different n often
+/// overlap in (placement, filter) cells, and overlapping cells retrain
+/// once instead of once per n.
 [[nodiscard]] std::vector<SupportSweepRow> run_support_sweep(
     const ExperimentContext& ctx, const core::PoisoningGame& game,
     std::size_t max_n, const core::Algorithm1Config& base_config = {},
-    const MixedEvalConfig& eval = {});
+    const MixedEvalConfig& eval = {}, runtime::Executor* executor = nullptr);
 
 }  // namespace pg::sim

@@ -1,5 +1,6 @@
 #include "sim/transfer.h"
 
+#include "runtime/payoff_evaluator.h"
 #include "util/error.h"
 #include "util/logging.h"
 
@@ -8,9 +9,10 @@ namespace pg::sim {
 namespace {
 
 defense::MixedDefenseStrategy solve_on(const ExperimentContext& ctx,
-                                       const TransferConfig& config) {
-  const auto sweep =
-      run_pure_sweep(ctx, config.sweep_fractions, config.sweep_replications);
+                                       const TransferConfig& config,
+                                       runtime::Executor* executor) {
+  const auto sweep = run_pure_sweep(ctx, config.sweep_fractions,
+                                    config.sweep_replications, executor);
   const auto curves = fit_payoff_curves(sweep);
   const core::PoisoningGame game(curves, ctx.poison_budget);
   core::Algorithm1Config acfg;
@@ -22,21 +24,27 @@ defense::MixedDefenseStrategy solve_on(const ExperimentContext& ctx,
 
 TransferResult run_transfer_experiment(const ExperimentContext& source,
                                        const ExperimentContext& target,
-                                       const TransferConfig& config) {
+                                       const TransferConfig& config,
+                                       runtime::Executor* executor) {
   PG_CHECK(!source.train.empty() && !target.train.empty(),
            "transfer requires prepared contexts");
 
-  TransferResult result{
-      solve_on(source, config), solve_on(target, config), 0.0, 0.0, 0.0};
+  TransferResult result{solve_on(source, config, executor),
+                        solve_on(target, config, executor), 0.0, 0.0, 0.0};
   util::log_info() << "source strategy " << result.source_strategy.describe()
                    << " | native strategy "
                    << result.native_strategy.describe();
 
+  runtime::PayoffCache cache;
+  const runtime::PayoffEvaluator evaluator(
+      runtime::executor_or_serial(executor), &cache);
   result.transferred_accuracy =
-      evaluate_mixed_defense(target, result.source_strategy, config.eval)
+      evaluate_mixed_defense(target, result.source_strategy, config.eval,
+                             evaluator)
           .adversarial_accuracy;
   result.native_accuracy =
-      evaluate_mixed_defense(target, result.native_strategy, config.eval)
+      evaluate_mixed_defense(target, result.native_strategy, config.eval,
+                             evaluator)
           .adversarial_accuracy;
   result.transfer_gap =
       result.transferred_accuracy - result.native_accuracy;

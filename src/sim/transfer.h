@@ -37,8 +37,11 @@ struct TransferConfig {
 };
 
 /// Run the full transfer protocol. Both contexts must be prepared.
+/// `executor` (null -> serial) parallelizes the two solve sweeps and both
+/// target evaluations; the evaluations share one payoff cache, so support
+/// points common to the transferred and native strategies retrain once.
 [[nodiscard]] TransferResult run_transfer_experiment(
     const ExperimentContext& source, const ExperimentContext& target,
-    const TransferConfig& config = {});
+    const TransferConfig& config = {}, runtime::Executor* executor = nullptr);
 
 }  // namespace pg::sim

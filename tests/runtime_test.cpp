@@ -1,0 +1,329 @@
+// Tests for the parallel execution runtime: thread pool and parallel_for
+// semantics (coverage, exception propagation, reusability), RNG stream
+// decorrelation, payoff-evaluator memoization, and the determinism
+// contract -- multi-threaded sweeps and payoff grids must be bit-identical
+// to their serial counterparts.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+#include "core/equilibrium.h"
+#include "core/game_model.h"
+#include "runtime/executor.h"
+#include "runtime/payoff_evaluator.h"
+#include "runtime/rng_stream.h"
+#include "runtime/thread_pool.h"
+#include "sim/experiment.h"
+#include "sim/mixed_eval.h"
+#include "sim/pure_sweep.h"
+
+namespace pg {
+namespace {
+
+// ---------------------------------------------------------- thread_pool.h
+
+TEST(ThreadPoolTest, RunsEverySubmittedTask) {
+  std::atomic<int> count{0};
+  {
+    runtime::ThreadPool pool(4);
+    EXPECT_EQ(pool.size(), 4u);
+    for (int i = 0; i < 100; ++i) {
+      pool.submit([&count] { count.fetch_add(1); });
+    }
+    // Destructor blocks until started tasks finish; busy-wait for the
+    // queue to drain so none are discarded at shutdown.
+    while (count.load() < 100) std::this_thread::yield();
+  }
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPoolTest, ZeroMeansHardwareConcurrency) {
+  runtime::ThreadPool pool(0);
+  EXPECT_EQ(pool.size(), runtime::default_thread_count());
+  EXPECT_GE(pool.size(), 1u);
+}
+
+// ------------------------------------------------------------- executor.h
+
+TEST(ExecutorTest, SerialCoversEveryIndexInOrder) {
+  runtime::SerialExecutor exec;
+  std::vector<std::size_t> seen;
+  exec.parallel_for(3, 10, 2, [&](std::size_t i) { seen.push_back(i); });
+  EXPECT_EQ(seen, (std::vector<std::size_t>{3, 4, 5, 6, 7, 8, 9}));
+}
+
+TEST(ExecutorTest, PoolCoversEveryIndexExactlyOnce) {
+  runtime::ThreadPoolExecutor exec(4);
+  for (std::size_t grain : {std::size_t{1}, std::size_t{3}, std::size_t{64}}) {
+    std::vector<std::atomic<int>> hits(37);
+    exec.parallel_for(0, 37, grain,
+                      [&](std::size_t i) { hits[i].fetch_add(1); });
+    for (std::size_t i = 0; i < hits.size(); ++i) {
+      EXPECT_EQ(hits[i].load(), 1) << "index " << i << " grain " << grain;
+    }
+  }
+}
+
+TEST(ExecutorTest, EmptyRangeIsANoop) {
+  runtime::ThreadPoolExecutor exec(2);
+  bool ran = false;
+  exec.parallel_for(5, 5, 1, [&](std::size_t) { ran = true; });
+  exec.parallel_for(7, 3, 1, [&](std::size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(ExecutorTest, ExceptionPropagatesToCaller) {
+  runtime::ThreadPoolExecutor exec(4);
+  EXPECT_THROW(
+      exec.parallel_for(0, 64, 1,
+                        [](std::size_t i) {
+                          if (i == 13) throw std::runtime_error("boom");
+                        }),
+      std::runtime_error);
+
+  // The executor must stay usable after a failed loop.
+  std::atomic<int> count{0};
+  exec.parallel_for(0, 16, 1, [&](std::size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 16);
+}
+
+TEST(ExecutorTest, SerialExceptionPropagatesToo) {
+  runtime::SerialExecutor exec;
+  EXPECT_THROW(exec.parallel_for(0, 4, 1,
+                                 [](std::size_t i) {
+                                   if (i == 2) throw std::invalid_argument("x");
+                                 }),
+               std::invalid_argument);
+}
+
+TEST(ExecutorTest, NestedParallelForRunsInlineInsteadOfDeadlocking) {
+  // A loop body calling parallel_for on its OWN executor must not wait on
+  // sub-chunks that could only run on already-blocked workers; the nested
+  // call runs inline on the worker.
+  runtime::ThreadPoolExecutor exec(2);
+  std::vector<std::atomic<int>> hits(8 * 8);
+  exec.parallel_for(0, 8, 1, [&](std::size_t i) {
+    exec.parallel_for(0, 8, 1,
+                      [&](std::size_t j) { hits[i * 8 + j].fetch_add(1); });
+  });
+  for (std::size_t k = 0; k < hits.size(); ++k) {
+    EXPECT_EQ(hits[k].load(), 1) << "cell " << k;
+  }
+}
+
+TEST(ExecutorTest, NullExecutorResolvesToSerial) {
+  EXPECT_EQ(&runtime::executor_or_serial(nullptr),
+            &runtime::serial_executor());
+  runtime::SerialExecutor mine;
+  EXPECT_EQ(&runtime::executor_or_serial(&mine), &mine);
+}
+
+// ----------------------------------------------------------- rng_stream.h
+
+TEST(RngStreamTest, DerivedSeedsAreUniqueAcrossIndices) {
+  const runtime::RngStreamFactory factory(42);
+  std::set<std::uint64_t> seeds;
+  for (std::uint64_t i = 0; i < 4096; ++i) {
+    seeds.insert(factory.derive_seed(i));
+  }
+  EXPECT_EQ(seeds.size(), 4096u);
+}
+
+TEST(RngStreamTest, TwoDimensionalSeedsDoNotCollideWithFlatOnes) {
+  const runtime::RngStreamFactory factory(7);
+  std::set<std::uint64_t> seeds;
+  for (std::uint64_t i = 0; i < 64; ++i) {
+    seeds.insert(factory.derive_seed(i));
+    for (std::uint64_t j = 0; j < 64; ++j) {
+      seeds.insert(factory.derive_seed(i, j));
+    }
+  }
+  EXPECT_EQ(seeds.size(), 64u + 64u * 64u);
+}
+
+TEST(RngStreamTest, StreamsAreDeterministicInIndex) {
+  const runtime::RngStreamFactory factory(123);
+  util::Rng a = factory.stream(5);
+  util::Rng b = factory.stream(5);
+  for (int k = 0; k < 32; ++k) {
+    EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
+  }
+}
+
+TEST(RngStreamTest, DecorrelationSmoke) {
+  // Adjacent indices (the worst case for weak mixing) must produce
+  // streams that look independent: each stream's mean is near 1/2 and the
+  // empirical correlation of paired draws is small.
+  const runtime::RngStreamFactory factory(99);
+  constexpr int kDraws = 4096;
+  util::Rng a = factory.stream(0);
+  util::Rng b = factory.stream(1);
+  double mean_a = 0.0, mean_b = 0.0, cross = 0.0;
+  for (int k = 0; k < kDraws; ++k) {
+    const double x = a.uniform();
+    const double y = b.uniform();
+    mean_a += x;
+    mean_b += y;
+    cross += (x - 0.5) * (y - 0.5);
+  }
+  mean_a /= kDraws;
+  mean_b /= kDraws;
+  // Correlation of n uniform pairs has sd ~ 1/sqrt(n) ~ 0.016; 5 sigma.
+  const double corr = cross / kDraws / (1.0 / 12.0);
+  EXPECT_NEAR(mean_a, 0.5, 0.03);
+  EXPECT_NEAR(mean_b, 0.5, 0.03);
+  EXPECT_LT(std::abs(corr), 0.08);
+}
+
+// ----------------------------------------------------- payoff_evaluator.h
+
+TEST(ContentKeyTest, OrderAndValueSensitive) {
+  const std::uint64_t a =
+      runtime::ContentKey().mix(std::uint64_t{1}).mix(2.0).digest();
+  const std::uint64_t b =
+      runtime::ContentKey().mix(std::uint64_t{2}).mix(1.0).digest();
+  const std::uint64_t c =
+      runtime::ContentKey().mix(std::uint64_t{1}).mix(2.0).digest();
+  EXPECT_NE(a, b);
+  EXPECT_EQ(a, c);
+  // Near-equal doubles (adjacent grid fractions) get unrelated keys.
+  EXPECT_NE(runtime::ContentKey().mix(0.05).digest(),
+            runtime::ContentKey().mix(0.05 + 1e-12).digest());
+}
+
+TEST(PayoffEvaluatorTest, MatrixMatchesCellFunction) {
+  runtime::ThreadPoolExecutor exec(4);
+  const runtime::PayoffEvaluator evaluator(exec);
+  const la::Matrix m = evaluator.evaluate_matrix(
+      7, 5, [](std::size_t flat) { return static_cast<double>(flat) * 1.5; });
+  ASSERT_EQ(m.rows(), 7u);
+  ASSERT_EQ(m.cols(), 5u);
+  for (std::size_t r = 0; r < 7; ++r) {
+    for (std::size_t c = 0; c < 5; ++c) {
+      EXPECT_DOUBLE_EQ(m(r, c), static_cast<double>(r * 5 + c) * 1.5);
+    }
+  }
+}
+
+TEST(PayoffEvaluatorTest, CacheSkipsRecomputation) {
+  runtime::SerialExecutor exec;
+  runtime::PayoffCache cache;
+  const runtime::PayoffEvaluator evaluator(exec, &cache);
+
+  std::atomic<int> computed{0};
+  const auto cell = [&](std::size_t i) {
+    computed.fetch_add(1);
+    return static_cast<double>(i) * 2.0;
+  };
+  const auto key = [](std::size_t i) {
+    return runtime::ContentKey().mix(static_cast<std::uint64_t>(i)).digest();
+  };
+
+  const auto first = evaluator.evaluate_cells(10, cell, key);
+  EXPECT_EQ(computed.load(), 10);
+  EXPECT_EQ(cache.size(), 10u);
+
+  const auto second = evaluator.evaluate_cells(10, cell, key);
+  EXPECT_EQ(computed.load(), 10) << "all cells must come from the cache";
+  EXPECT_EQ(second, first);
+  EXPECT_EQ(evaluator.cache_hits(), 10u);
+  EXPECT_EQ(evaluator.cells_computed(), 10u);
+}
+
+TEST(PayoffEvaluatorTest, DiscretizeMatchesSerialReference) {
+  const core::PoisoningGame game(
+      core::PayoffCurves::analytic(0.002, 5.0, 0.06, 1.4), 100);
+  const game::MatrixGame serial = game.discretize(33, 17);
+
+  runtime::ThreadPoolExecutor exec(8);
+  const game::MatrixGame parallel = game.discretize(33, 17, &exec);
+
+  ASSERT_EQ(parallel.num_rows(), serial.num_rows());
+  ASSERT_EQ(parallel.num_cols(), serial.num_cols());
+  for (std::size_t i = 0; i < serial.num_rows(); ++i) {
+    for (std::size_t j = 0; j < serial.num_cols(); ++j) {
+      EXPECT_EQ(parallel.payoff_at(i, j), serial.payoff_at(i, j))
+          << "cell (" << i << ", " << j << ")";
+    }
+  }
+}
+
+// ------------------------------------------------- determinism contract
+
+const sim::ExperimentContext& small_ctx() {
+  static const sim::ExperimentContext ctx = [] {
+    sim::ExperimentConfig cfg = sim::fast_config(42);
+    cfg.corpus.n_instances = 300;
+    cfg.svm.epochs = 25;
+    return sim::prepare_experiment(cfg);
+  }();
+  return ctx;
+}
+
+TEST(RuntimeDeterminismTest, PureSweepBitIdenticalAcrossThreadCounts) {
+  const auto& ctx = small_ctx();
+  const std::vector<double> grid = {0.0, 0.1, 0.25, 0.4};
+
+  const auto serial = sim::run_pure_sweep(ctx, grid, 2, nullptr);
+  runtime::ThreadPoolExecutor one(1);
+  const auto threaded1 = sim::run_pure_sweep(ctx, grid, 2, &one);
+  runtime::ThreadPoolExecutor eight(8);
+  const auto threaded8 = sim::run_pure_sweep(ctx, grid, 2, &eight);
+
+  ASSERT_EQ(serial.points.size(), grid.size());
+  for (const auto* run : {&threaded1, &threaded8}) {
+    ASSERT_EQ(run->points.size(), serial.points.size());
+    for (std::size_t i = 0; i < serial.points.size(); ++i) {
+      // EXPECT_EQ, not NEAR: the contract is bit-identity.
+      EXPECT_EQ(run->points[i].accuracy_no_attack,
+                serial.points[i].accuracy_no_attack);
+      EXPECT_EQ(run->points[i].accuracy_attacked,
+                serial.points[i].accuracy_attacked);
+      EXPECT_EQ(run->points[i].poison_survived_fraction,
+                serial.points[i].poison_survived_fraction);
+    }
+  }
+}
+
+TEST(RuntimeDeterminismTest, MixedEvalBitIdenticalAcrossThreadCountsAndCache) {
+  const auto& ctx = small_ctx();
+  const defense::MixedDefenseStrategy strategy({0.1, 0.25, 0.4},
+                                               {0.5, 0.3, 0.2});
+  sim::MixedEvalConfig ecfg;
+  ecfg.draws = 2;
+
+  const auto serial = sim::evaluate_mixed_defense(ctx, strategy, ecfg);
+
+  runtime::ThreadPoolExecutor eight(8);
+  const auto threaded =
+      sim::evaluate_mixed_defense(ctx, strategy, ecfg, &eight);
+
+  // Cached evaluator, evaluated twice: the second pass runs entirely from
+  // the cache and must reproduce the first bit-for-bit.
+  runtime::PayoffCache cache;
+  const runtime::PayoffEvaluator evaluator(eight, &cache);
+  const auto cached1 =
+      sim::evaluate_mixed_defense(ctx, strategy, ecfg, evaluator);
+  const auto cached2 =
+      sim::evaluate_mixed_defense(ctx, strategy, ecfg, evaluator);
+  EXPECT_GT(evaluator.cache_hits(), 0u);
+
+  for (const auto* run : {&threaded, &cached1, &cached2}) {
+    EXPECT_EQ(run->adversarial_accuracy, serial.adversarial_accuracy);
+    EXPECT_EQ(run->no_attack_accuracy, serial.no_attack_accuracy);
+    ASSERT_EQ(run->accuracy_by_placement.size(),
+              serial.accuracy_by_placement.size());
+    for (std::size_t i = 0; i < serial.accuracy_by_placement.size(); ++i) {
+      EXPECT_EQ(run->accuracy_by_placement[i],
+                serial.accuracy_by_placement[i]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pg
