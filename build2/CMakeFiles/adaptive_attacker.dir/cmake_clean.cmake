@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive_attacker.dir/examples/adaptive_attacker.cpp.o"
+  "CMakeFiles/adaptive_attacker.dir/examples/adaptive_attacker.cpp.o.d"
+  "adaptive_attacker"
+  "adaptive_attacker.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_attacker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_defense_ablation.dir/bench/bench_defense_ablation.cpp.o"
+  "CMakeFiles/bench_defense_ablation.dir/bench/bench_defense_ablation.cpp.o.d"
+  "bench_defense_ablation"
+  "bench_defense_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_defense_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_nsweep.dir/bench/bench_nsweep.cpp.o"
+  "CMakeFiles/bench_nsweep.dir/bench/bench_nsweep.cpp.o.d"
+  "bench_nsweep"
+  "bench_nsweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_nsweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_prop1.dir/bench/bench_prop1.cpp.o"
+  "CMakeFiles/bench_prop1.dir/bench/bench_prop1.cpp.o.d"
+  "bench_prop1"
+  "bench_prop1.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_prop1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_transfer.dir/bench/bench_transfer.cpp.o"
+  "CMakeFiles/bench_transfer.dir/bench/bench_transfer.cpp.o.d"
+  "bench_transfer"
+  "bench_transfer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_transfer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

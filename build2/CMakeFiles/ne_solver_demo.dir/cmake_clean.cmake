@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ne_solver_demo.dir/examples/ne_solver_demo.cpp.o"
+  "CMakeFiles/ne_solver_demo.dir/examples/ne_solver_demo.cpp.o.d"
+  "ne_solver_demo"
+  "ne_solver_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ne_solver_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,71 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/attack/attack.cpp" "CMakeFiles/poisongame.dir/src/attack/attack.cpp.o" "gcc" "CMakeFiles/poisongame.dir/src/attack/attack.cpp.o.d"
+  "/root/repo/src/attack/boundary_attack.cpp" "CMakeFiles/poisongame.dir/src/attack/boundary_attack.cpp.o" "gcc" "CMakeFiles/poisongame.dir/src/attack/boundary_attack.cpp.o.d"
+  "/root/repo/src/attack/gradient_attack.cpp" "CMakeFiles/poisongame.dir/src/attack/gradient_attack.cpp.o" "gcc" "CMakeFiles/poisongame.dir/src/attack/gradient_attack.cpp.o.d"
+  "/root/repo/src/attack/label_flip.cpp" "CMakeFiles/poisongame.dir/src/attack/label_flip.cpp.o" "gcc" "CMakeFiles/poisongame.dir/src/attack/label_flip.cpp.o.d"
+  "/root/repo/src/attack/mixed_attack.cpp" "CMakeFiles/poisongame.dir/src/attack/mixed_attack.cpp.o" "gcc" "CMakeFiles/poisongame.dir/src/attack/mixed_attack.cpp.o.d"
+  "/root/repo/src/attack/noise_attack.cpp" "CMakeFiles/poisongame.dir/src/attack/noise_attack.cpp.o" "gcc" "CMakeFiles/poisongame.dir/src/attack/noise_attack.cpp.o.d"
+  "/root/repo/src/attack/radius_map.cpp" "CMakeFiles/poisongame.dir/src/attack/radius_map.cpp.o" "gcc" "CMakeFiles/poisongame.dir/src/attack/radius_map.cpp.o.d"
+  "/root/repo/src/core/attacker_equilibrium.cpp" "CMakeFiles/poisongame.dir/src/core/attacker_equilibrium.cpp.o" "gcc" "CMakeFiles/poisongame.dir/src/core/attacker_equilibrium.cpp.o.d"
+  "/root/repo/src/core/equilibrium.cpp" "CMakeFiles/poisongame.dir/src/core/equilibrium.cpp.o" "gcc" "CMakeFiles/poisongame.dir/src/core/equilibrium.cpp.o.d"
+  "/root/repo/src/core/game_model.cpp" "CMakeFiles/poisongame.dir/src/core/game_model.cpp.o" "gcc" "CMakeFiles/poisongame.dir/src/core/game_model.cpp.o.d"
+  "/root/repo/src/core/ne_properties.cpp" "CMakeFiles/poisongame.dir/src/core/ne_properties.cpp.o" "gcc" "CMakeFiles/poisongame.dir/src/core/ne_properties.cpp.o.d"
+  "/root/repo/src/core/payoff.cpp" "CMakeFiles/poisongame.dir/src/core/payoff.cpp.o" "gcc" "CMakeFiles/poisongame.dir/src/core/payoff.cpp.o.d"
+  "/root/repo/src/data/dataset.cpp" "CMakeFiles/poisongame.dir/src/data/dataset.cpp.o" "gcc" "CMakeFiles/poisongame.dir/src/data/dataset.cpp.o.d"
+  "/root/repo/src/data/loader.cpp" "CMakeFiles/poisongame.dir/src/data/loader.cpp.o" "gcc" "CMakeFiles/poisongame.dir/src/data/loader.cpp.o.d"
+  "/root/repo/src/data/scaler.cpp" "CMakeFiles/poisongame.dir/src/data/scaler.cpp.o" "gcc" "CMakeFiles/poisongame.dir/src/data/scaler.cpp.o.d"
+  "/root/repo/src/data/synthetic.cpp" "CMakeFiles/poisongame.dir/src/data/synthetic.cpp.o" "gcc" "CMakeFiles/poisongame.dir/src/data/synthetic.cpp.o.d"
+  "/root/repo/src/defense/centroid.cpp" "CMakeFiles/poisongame.dir/src/defense/centroid.cpp.o" "gcc" "CMakeFiles/poisongame.dir/src/defense/centroid.cpp.o.d"
+  "/root/repo/src/defense/distance_filter.cpp" "CMakeFiles/poisongame.dir/src/defense/distance_filter.cpp.o" "gcc" "CMakeFiles/poisongame.dir/src/defense/distance_filter.cpp.o.d"
+  "/root/repo/src/defense/filter.cpp" "CMakeFiles/poisongame.dir/src/defense/filter.cpp.o" "gcc" "CMakeFiles/poisongame.dir/src/defense/filter.cpp.o.d"
+  "/root/repo/src/defense/knn_filter.cpp" "CMakeFiles/poisongame.dir/src/defense/knn_filter.cpp.o" "gcc" "CMakeFiles/poisongame.dir/src/defense/knn_filter.cpp.o.d"
+  "/root/repo/src/defense/mixed_defense.cpp" "CMakeFiles/poisongame.dir/src/defense/mixed_defense.cpp.o" "gcc" "CMakeFiles/poisongame.dir/src/defense/mixed_defense.cpp.o.d"
+  "/root/repo/src/defense/pca_filter.cpp" "CMakeFiles/poisongame.dir/src/defense/pca_filter.cpp.o" "gcc" "CMakeFiles/poisongame.dir/src/defense/pca_filter.cpp.o.d"
+  "/root/repo/src/defense/pipeline.cpp" "CMakeFiles/poisongame.dir/src/defense/pipeline.cpp.o" "gcc" "CMakeFiles/poisongame.dir/src/defense/pipeline.cpp.o.d"
+  "/root/repo/src/defense/roni.cpp" "CMakeFiles/poisongame.dir/src/defense/roni.cpp.o" "gcc" "CMakeFiles/poisongame.dir/src/defense/roni.cpp.o.d"
+  "/root/repo/src/game/best_response.cpp" "CMakeFiles/poisongame.dir/src/game/best_response.cpp.o" "gcc" "CMakeFiles/poisongame.dir/src/game/best_response.cpp.o.d"
+  "/root/repo/src/game/lp.cpp" "CMakeFiles/poisongame.dir/src/game/lp.cpp.o" "gcc" "CMakeFiles/poisongame.dir/src/game/lp.cpp.o.d"
+  "/root/repo/src/game/matrix_game.cpp" "CMakeFiles/poisongame.dir/src/game/matrix_game.cpp.o" "gcc" "CMakeFiles/poisongame.dir/src/game/matrix_game.cpp.o.d"
+  "/root/repo/src/game/pure_ne.cpp" "CMakeFiles/poisongame.dir/src/game/pure_ne.cpp.o" "gcc" "CMakeFiles/poisongame.dir/src/game/pure_ne.cpp.o.d"
+  "/root/repo/src/game/solvers.cpp" "CMakeFiles/poisongame.dir/src/game/solvers.cpp.o" "gcc" "CMakeFiles/poisongame.dir/src/game/solvers.cpp.o.d"
+  "/root/repo/src/la/eigen.cpp" "CMakeFiles/poisongame.dir/src/la/eigen.cpp.o" "gcc" "CMakeFiles/poisongame.dir/src/la/eigen.cpp.o.d"
+  "/root/repo/src/la/matrix.cpp" "CMakeFiles/poisongame.dir/src/la/matrix.cpp.o" "gcc" "CMakeFiles/poisongame.dir/src/la/matrix.cpp.o.d"
+  "/root/repo/src/la/vector_ops.cpp" "CMakeFiles/poisongame.dir/src/la/vector_ops.cpp.o" "gcc" "CMakeFiles/poisongame.dir/src/la/vector_ops.cpp.o.d"
+  "/root/repo/src/ml/linear_model.cpp" "CMakeFiles/poisongame.dir/src/ml/linear_model.cpp.o" "gcc" "CMakeFiles/poisongame.dir/src/ml/linear_model.cpp.o.d"
+  "/root/repo/src/ml/logreg.cpp" "CMakeFiles/poisongame.dir/src/ml/logreg.cpp.o" "gcc" "CMakeFiles/poisongame.dir/src/ml/logreg.cpp.o.d"
+  "/root/repo/src/ml/metrics.cpp" "CMakeFiles/poisongame.dir/src/ml/metrics.cpp.o" "gcc" "CMakeFiles/poisongame.dir/src/ml/metrics.cpp.o.d"
+  "/root/repo/src/ml/svm.cpp" "CMakeFiles/poisongame.dir/src/ml/svm.cpp.o" "gcc" "CMakeFiles/poisongame.dir/src/ml/svm.cpp.o.d"
+  "/root/repo/src/ml/validation.cpp" "CMakeFiles/poisongame.dir/src/ml/validation.cpp.o" "gcc" "CMakeFiles/poisongame.dir/src/ml/validation.cpp.o.d"
+  "/root/repo/src/runtime/executor.cpp" "CMakeFiles/poisongame.dir/src/runtime/executor.cpp.o" "gcc" "CMakeFiles/poisongame.dir/src/runtime/executor.cpp.o.d"
+  "/root/repo/src/runtime/payoff_evaluator.cpp" "CMakeFiles/poisongame.dir/src/runtime/payoff_evaluator.cpp.o" "gcc" "CMakeFiles/poisongame.dir/src/runtime/payoff_evaluator.cpp.o.d"
+  "/root/repo/src/runtime/rng_stream.cpp" "CMakeFiles/poisongame.dir/src/runtime/rng_stream.cpp.o" "gcc" "CMakeFiles/poisongame.dir/src/runtime/rng_stream.cpp.o.d"
+  "/root/repo/src/runtime/thread_pool.cpp" "CMakeFiles/poisongame.dir/src/runtime/thread_pool.cpp.o" "gcc" "CMakeFiles/poisongame.dir/src/runtime/thread_pool.cpp.o.d"
+  "/root/repo/src/sim/curve_fit.cpp" "CMakeFiles/poisongame.dir/src/sim/curve_fit.cpp.o" "gcc" "CMakeFiles/poisongame.dir/src/sim/curve_fit.cpp.o.d"
+  "/root/repo/src/sim/experiment.cpp" "CMakeFiles/poisongame.dir/src/sim/experiment.cpp.o" "gcc" "CMakeFiles/poisongame.dir/src/sim/experiment.cpp.o.d"
+  "/root/repo/src/sim/mixed_eval.cpp" "CMakeFiles/poisongame.dir/src/sim/mixed_eval.cpp.o" "gcc" "CMakeFiles/poisongame.dir/src/sim/mixed_eval.cpp.o.d"
+  "/root/repo/src/sim/pure_sweep.cpp" "CMakeFiles/poisongame.dir/src/sim/pure_sweep.cpp.o" "gcc" "CMakeFiles/poisongame.dir/src/sim/pure_sweep.cpp.o.d"
+  "/root/repo/src/sim/support_sweep.cpp" "CMakeFiles/poisongame.dir/src/sim/support_sweep.cpp.o" "gcc" "CMakeFiles/poisongame.dir/src/sim/support_sweep.cpp.o.d"
+  "/root/repo/src/sim/transfer.cpp" "CMakeFiles/poisongame.dir/src/sim/transfer.cpp.o" "gcc" "CMakeFiles/poisongame.dir/src/sim/transfer.cpp.o.d"
+  "/root/repo/src/util/csv.cpp" "CMakeFiles/poisongame.dir/src/util/csv.cpp.o" "gcc" "CMakeFiles/poisongame.dir/src/util/csv.cpp.o.d"
+  "/root/repo/src/util/interp.cpp" "CMakeFiles/poisongame.dir/src/util/interp.cpp.o" "gcc" "CMakeFiles/poisongame.dir/src/util/interp.cpp.o.d"
+  "/root/repo/src/util/logging.cpp" "CMakeFiles/poisongame.dir/src/util/logging.cpp.o" "gcc" "CMakeFiles/poisongame.dir/src/util/logging.cpp.o.d"
+  "/root/repo/src/util/rng.cpp" "CMakeFiles/poisongame.dir/src/util/rng.cpp.o" "gcc" "CMakeFiles/poisongame.dir/src/util/rng.cpp.o.d"
+  "/root/repo/src/util/stats.cpp" "CMakeFiles/poisongame.dir/src/util/stats.cpp.o" "gcc" "CMakeFiles/poisongame.dir/src/util/stats.cpp.o.d"
+  "/root/repo/src/util/table.cpp" "CMakeFiles/poisongame.dir/src/util/table.cpp.o" "gcc" "CMakeFiles/poisongame.dir/src/util/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

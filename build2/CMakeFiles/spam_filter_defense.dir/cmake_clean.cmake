@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spam_filter_defense.dir/examples/spam_filter_defense.cpp.o"
+  "CMakeFiles/spam_filter_defense.dir/examples/spam_filter_defense.cpp.o.d"
+  "spam_filter_defense"
+  "spam_filter_defense.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spam_filter_defense.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
