@@ -24,7 +24,8 @@
 
 namespace {
 
-void ablate(const std::string& name, const pg::core::PoisoningGame& game) {
+void ablate(const std::string& name, const pg::core::PoisoningGame& game,
+            pg::runtime::Executor* exec) {
   using namespace pg;
   std::cout << "--- " << name << " ---\n";
   util::TextTable t({"solver", "defender loss / game value", "exploitability",
@@ -34,7 +35,7 @@ void ablate(const std::string& name, const pg::core::PoisoningGame& game) {
     util::Stopwatch w;
     core::Algorithm1Config cfg;
     cfg.support_size = 5;
-    const auto sol = core::compute_optimal_defense(game, cfg);
+    const auto sol = core::compute_optimal_defense(game, cfg, exec);
     const auto ex = core::attacker_exploitability(game, sol.strategy, 4096);
     t.add_row({"Algorithm 1 (paper, n=5)",
                util::format_double(sol.defender_loss, 6),
@@ -43,10 +44,10 @@ void ablate(const std::string& name, const pg::core::PoisoningGame& game) {
   }
 
   const std::size_t grid = 128;
-  const auto mg = game.discretize(grid, grid);
+  const auto mg = game.discretize(grid, grid, exec);
   {
     util::Stopwatch w;
-    const auto eq = game::solve_lp_equilibrium(mg);
+    const auto eq = game::solve_lp_equilibrium(mg, exec);
     t.add_row({"simplex LP (128x128 grid)", util::format_double(eq.value, 6),
                util::format_double(
                    game::exploitability(mg, eq.row_strategy, eq.col_strategy),
@@ -55,7 +56,8 @@ void ablate(const std::string& name, const pg::core::PoisoningGame& game) {
   }
   {
     util::Stopwatch w;
-    const auto eq = game::solve_fictitious_play(mg, {.iterations = 20000});
+    const auto eq =
+        game::solve_fictitious_play(mg, {.iterations = 20000}, exec);
     t.add_row({"fictitious play (20k iters)",
                util::format_double(eq.value, 6),
                util::format_double(
@@ -66,7 +68,7 @@ void ablate(const std::string& name, const pg::core::PoisoningGame& game) {
   {
     util::Stopwatch w;
     const auto eq =
-        game::solve_multiplicative_weights(mg, {.iterations = 20000});
+        game::solve_multiplicative_weights(mg, {.iterations = 20000}, exec);
     t.add_row({"multiplicative weights (20k)",
                util::format_double(eq.value, 6),
                util::format_double(
@@ -83,22 +85,24 @@ int main() {
   using namespace pg;
   std::cout << "=== Solver ablation: four routes to the mixed NE ===\n\n";
   util::Stopwatch watch;
+  const auto exec = bench::bench_executor();
 
   ablate("analytic curves E=0.002(1-p)^5, Gamma=0.06 p^1.4, N=100",
          core::PoisoningGame(
-             core::PayoffCurves::analytic(0.002, 5.0, 0.06, 1.4), 100));
+             core::PayoffCurves::analytic(0.002, 5.0, 0.06, 1.4), 100),
+         exec.get());
 
   sim::ExperimentConfig cfg = bench::paper_config();
   cfg.corpus.n_instances = std::min<std::size_t>(cfg.corpus.n_instances, 1500);
   cfg.svm.epochs = std::min<std::size_t>(cfg.svm.epochs, 120);
   const sim::ExperimentContext ctx = sim::prepare_experiment(cfg);
-  const auto exec = bench::bench_executor();
   const auto sweep = sim::run_pure_sweep(ctx, sim::sweep_grid(0.40, 9),
                                          bench::sweep_reps(), exec.get());
   ablate("measured curves (Spambase-like sweep), N=" +
              std::to_string(ctx.poison_budget),
          core::PoisoningGame(sim::fit_payoff_curves(sweep),
-                             ctx.poison_budget));
+                             ctx.poison_budget),
+         exec.get());
 
   std::cout << "elapsed: " << util::format_double(watch.elapsed_seconds(), 1)
             << "s\n";

@@ -48,7 +48,7 @@ int main() {
   for (std::size_t n : {2, 3}) {
     core::Algorithm1Config acfg;
     acfg.support_size = n;
-    const auto sol = core::compute_optimal_defense(game, acfg);
+    const auto sol = core::compute_optimal_defense(game, acfg, exec.get());
     const auto indiff = core::check_indifference(game, sol.strategy, 1e-3);
 
     sim::MixedEvalConfig ecfg;
@@ -93,7 +93,7 @@ int main() {
   }
   core::Algorithm1Config acfg3;
   acfg3.support_size = 3;
-  const auto sol3 = core::compute_optimal_defense(game, acfg3);
+  const auto sol3 = core::compute_optimal_defense(game, acfg3, exec.get());
   std::cout << "--- mixed vs pure (the Table-1 claim) ---\n";
   std::cout << "best pure strategy:   theta=" << util::format_percent(best_theta)
             << "  predicted loss=" << util::format_double(best_pure_predicted, 4)

@@ -28,8 +28,7 @@ namespace {
 
 /// Place `n_points` flipped-direction points at the given effective clean
 /// removal fraction, alternating classes.
-data::Dataset place_points(const data::Dataset& clean,
-                           const ClassRadiusMap& map, std::size_t n_points,
+data::Dataset place_points(const ClassRadiusMap& map, std::size_t n_points,
                            double effective_fraction, double safety_margin,
                            double direction_noise, util::Rng& rng) {
   const la::Vector c_pos = map.geometry(1).centroid;
@@ -102,8 +101,7 @@ data::Dataset BoundaryAttack::generate(const data::Dataset& clean,
   };
 
   if (config_.depth_offsets.empty()) {
-    return place_points(clean, map, n_points,
-                        effective(config_.placement_fraction),
+    return place_points(map, n_points, effective(config_.placement_fraction),
                         config_.safety_margin, config_.direction_noise, rng);
   }
 
@@ -117,7 +115,7 @@ data::Dataset BoundaryAttack::generate(const data::Dataset& clean,
         std::min(1.0, config_.placement_fraction + offset);
     util::Rng place_rng = rng.fork(1000 + salt);
     data::Dataset candidate =
-        place_points(clean, map, n_points, effective(fraction),
+        place_points(map, n_points, effective(fraction),
                      config_.safety_margin, config_.direction_noise,
                      place_rng);
     util::Rng probe_rng = rng.fork(2000 + salt);

@@ -25,6 +25,10 @@
 #include "core/payoff.h"
 #include "defense/mixed_defense.h"
 
+namespace pg::runtime {
+class Executor;
+}
+
 namespace pg::core {
 
 struct Algorithm1Config {
@@ -80,8 +84,12 @@ struct DefenseSolution {
     const PoisoningGame& game, std::size_t n, double damage_floor = 1e-6);
 
 /// Algorithm 1. Requires support_size >= 1 (1 degenerates to the best pure
-/// strategy, used as the benchmark).
+/// strategy, used as the benchmark). `executor` (null -> serial)
+/// parallelizes the per-iteration finite-difference gradient: each support
+/// point's two objective probes are a pure function of the support, so the
+/// parallel descent trajectory is bit-identical to the serial one.
 [[nodiscard]] DefenseSolution compute_optimal_defense(
-    const PoisoningGame& game, const Algorithm1Config& config = {});
+    const PoisoningGame& game, const Algorithm1Config& config = {},
+    runtime::Executor* executor = nullptr);
 
 }  // namespace pg::core

@@ -3,15 +3,17 @@
 #include <cmath>
 #include <limits>
 
+#include "runtime/parallel_reduce.h"
 #include "util/error.h"
 
 namespace pg::game {
 
 namespace {
 constexpr double kEps = 1e-11;
-}
+constexpr std::size_t kPricingGrain = 192;
+}  // namespace
 
-LpSolution solve_lp(const LpProblem& problem) {
+LpSolution solve_lp(const LpProblem& problem, runtime::Executor* executor) {
   const std::size_t m = problem.a.rows();
   const std::size_t n = problem.a.cols();
   PG_CHECK(m > 0 && n > 0, "solve_lp: empty problem");
@@ -36,22 +38,24 @@ LpSolution solve_lp(const LpProblem& problem) {
   std::vector<std::size_t> basis(m);
   for (std::size_t i = 0; i < m; ++i) basis[i] = n + i;
 
+  const std::size_t row_grain = runtime::grain_for_cells(cols);
+  const double* objective_row = t[m].data();
+
   LpSolution sol;
   const std::size_t max_iters = 50 * (m + n) * (m + n) + 1000;
   for (;;) {
     // Entering column: Bland's rule -- smallest index with negative
-    // reduced cost.
-    std::size_t enter = cols;  // sentinel
-    for (std::size_t j = 0; j + 1 < cols; ++j) {
-      if (t[m][j] < -kEps) {
-        enter = j;
-        break;
-      }
-    }
-    if (enter == cols) break;  // optimal
+    // reduced cost. The blocked parallel scan returns exactly the serial
+    // first hit.
+    const std::size_t enter = runtime::parallel_find_first(
+        executor, 0, cols - 1, kPricingGrain,
+        [objective_row](std::size_t j) { return objective_row[j] < -kEps; });
+    if (enter == cols - 1) break;  // optimal
 
     // Leaving row: minimum ratio; ties broken by smallest basis index
-    // (Bland).
+    // (Bland). The running best_ratio is order-dependent through the
+    // epsilon band, so this O(m) fold stays serial -- the pivot cost
+    // lives in the O(m * cols) elimination below.
     std::size_t leave = m;  // sentinel
     double best_ratio = std::numeric_limits<double>::infinity();
     for (std::size_t i = 0; i < m; ++i) {
@@ -70,17 +74,23 @@ LpSolution solve_lp(const LpProblem& problem) {
       return sol;
     }
 
-    // Pivot on (leave, enter).
+    // Pivot on (leave, enter): normalize the pivot row, then eliminate the
+    // entering column from every other row. Rows are independent -- each
+    // is updated by the same per-row arithmetic whether it runs inline or
+    // on a worker, so the parallel tableau is bit-identical.
     const double pivot = t[leave][enter];
     for (double& v : t[leave]) v /= pivot;
-    for (std::size_t i = 0; i <= m; ++i) {
-      if (i == leave) continue;
-      const double factor = t[i][enter];
-      if (factor == 0.0) continue;
-      for (std::size_t j = 0; j < cols; ++j) {
-        t[i][j] -= factor * t[leave][j];
-      }
-    }
+    const double* pivot_row = t[leave].data();
+    runtime::parallel_for(
+        executor, 0, m + 1, row_grain, [&](std::size_t i) {
+          if (i == leave) return;
+          const double factor = t[i][enter];
+          if (factor == 0.0) return;
+          double* row = t[i].data();
+          for (std::size_t j = 0; j < cols; ++j) {
+            row[j] -= factor * pivot_row[j];
+          }
+        });
     basis[leave] = enter;
 
     ++sol.iterations;

@@ -9,12 +9,22 @@
 // Bland's anti-cycling rule guarantees termination. The dual solution is
 // recovered from the reduced costs of the slack columns, which is how one
 // simplex solve yields BOTH players' equilibrium strategies.
+//
+// Passing an Executor parallelizes each pivot's inner loops -- the
+// Bland pricing scan over columns and the row elimination -- with results
+// bit-identical to the serial solve at any thread count: the pricing
+// reduction is an exact smallest-index fold and every eliminated row is
+// updated by the same per-row arithmetic regardless of scheduling.
 #pragma once
 
 #include <cstddef>
 #include <vector>
 
 #include "la/matrix.h"
+
+namespace pg::runtime {
+class Executor;
+}
 
 namespace pg::game {
 
@@ -25,6 +35,9 @@ struct LpSolution {
   double objective = 0.0;
   std::vector<double> x;     // primal solution (size = #variables)
   std::vector<double> dual;  // dual prices, one per constraint
+  /// Number of simplex pivots performed. 0 when the all-slack basis is
+  /// already optimal; identical for serial and parallel solves (both walk
+  /// the same pivot sequence).
   std::size_t iterations = 0;
 };
 
@@ -35,7 +48,9 @@ struct LpProblem {
 };
 
 /// Solve the LP. Throws std::invalid_argument on malformed input
-/// (dimension mismatch or negative b).
-[[nodiscard]] LpSolution solve_lp(const LpProblem& problem);
+/// (dimension mismatch or negative b). `executor` (null -> serial)
+/// parallelizes the per-pivot pricing scan and row elimination.
+[[nodiscard]] LpSolution solve_lp(const LpProblem& problem,
+                                  runtime::Executor* executor = nullptr);
 
 }  // namespace pg::game

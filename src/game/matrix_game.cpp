@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "runtime/parallel_reduce.h"
 #include "util/error.h"
 
 namespace pg::game {
@@ -56,29 +57,31 @@ double MatrixGame::expected_payoff(const MixedStrategy& row_strategy,
   return total;
 }
 
-std::vector<double> MatrixGame::row_payoffs(
-    const MixedStrategy& col_strategy) const {
+std::vector<double> MatrixGame::row_payoffs(const MixedStrategy& col_strategy,
+                                            runtime::Executor* executor) const {
   PG_CHECK(col_strategy.size() == num_cols(),
            "row_payoffs: strategy size mismatch");
   std::vector<double> out(num_rows(), 0.0);
-  for (std::size_t i = 0; i < num_rows(); ++i) {
-    for (std::size_t j = 0; j < num_cols(); ++j) {
-      out[i] += payoff_(i, j) * col_strategy[j];
-    }
-  }
+  runtime::parallel_for(
+      executor, 0, num_rows(), runtime::grain_for_cells(num_cols()), [&](std::size_t i) {
+        for (std::size_t j = 0; j < num_cols(); ++j) {
+          out[i] += payoff_(i, j) * col_strategy[j];
+        }
+      });
   return out;
 }
 
-std::vector<double> MatrixGame::col_payoffs(
-    const MixedStrategy& row_strategy) const {
+std::vector<double> MatrixGame::col_payoffs(const MixedStrategy& row_strategy,
+                                            runtime::Executor* executor) const {
   PG_CHECK(row_strategy.size() == num_rows(),
            "col_payoffs: strategy size mismatch");
   std::vector<double> out(num_cols(), 0.0);
-  for (std::size_t j = 0; j < num_cols(); ++j) {
-    for (std::size_t i = 0; i < num_rows(); ++i) {
-      out[j] += payoff_(i, j) * row_strategy[i];
-    }
-  }
+  runtime::parallel_for(
+      executor, 0, num_cols(), runtime::grain_for_cells(num_rows()), [&](std::size_t j) {
+        for (std::size_t i = 0; i < num_rows(); ++i) {
+          out[j] += payoff_(i, j) * row_strategy[i];
+        }
+      });
   return out;
 }
 

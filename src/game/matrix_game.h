@@ -14,6 +14,10 @@
 
 #include "la/matrix.h"
 
+namespace pg::runtime {
+class Executor;
+}
+
 namespace pg::game {
 
 /// A mixed strategy: a probability vector over pure actions.
@@ -47,12 +51,17 @@ class MatrixGame {
                                        const MixedStrategy& col_strategy) const;
 
   /// Expected payoff of each pure row against the column mixture q.
+  /// `executor` (null -> serial) parallelizes the per-row dot products;
+  /// each entry accumulates in the same index order either way, so the
+  /// result is bit-identical at any thread count.
   [[nodiscard]] std::vector<double> row_payoffs(
-      const MixedStrategy& col_strategy) const;
+      const MixedStrategy& col_strategy,
+      runtime::Executor* executor = nullptr) const;
 
   /// Expected payoff of each pure column against the row mixture p.
   [[nodiscard]] std::vector<double> col_payoffs(
-      const MixedStrategy& row_strategy) const;
+      const MixedStrategy& row_strategy,
+      runtime::Executor* executor = nullptr) const;
 
   /// max_i min_j and min_j max_i of the payoff matrix (pure security
   /// levels). A pure saddle point exists iff they are equal.

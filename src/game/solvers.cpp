@@ -5,22 +5,52 @@
 #include <limits>
 
 #include "game/lp.h"
+#include "runtime/parallel_reduce.h"
 #include "util/error.h"
 
 namespace pg::game {
 
-Equilibrium solve_lp_equilibrium(const MatrixGame& game) {
+namespace {
+
+/// How many chunks to cut one player's best-response scan into. The scan
+/// costs O(dim) per iteration, so the per-iteration fork-join only pays
+/// for itself on wide games; below the threshold everything collapses to
+/// one chunk per player (still overlapping the two players on two
+/// threads). Chunking affects scheduling only -- the deterministic fold
+/// makes the result identical at any value.
+std::size_t scan_chunks(std::size_t dim, runtime::Executor* executor) {
+  if (executor == nullptr) return 1;
+  const std::size_t workers = executor->concurrency();
+  if (workers <= 1) return 1;
+  constexpr std::size_t kMinChunk = 512;
+  const std::size_t by_size = dim / kMinChunk;
+  return std::clamp<std::size_t>(by_size, 1, workers);
+}
+
+}  // namespace
+
+Equilibrium solve_lp_equilibrium(const MatrixGame& game,
+                                 runtime::Executor* executor) {
   const std::size_t m = game.num_rows();
   const std::size_t n = game.num_cols();
 
   // Shift the payoff matrix strictly positive so the game value is > 0 and
-  // the classic normalization applies.
-  double lo = std::numeric_limits<double>::infinity();
-  for (std::size_t i = 0; i < m; ++i) {
-    for (std::size_t j = 0; j < n; ++j) {
-      lo = std::min(lo, game.payoff_at(i, j));
-    }
-  }
+  // the classic normalization applies. Exact min is associative, so the
+  // chunked reduction is deterministic at any thread count.
+  const la::Matrix& payoff = game.payoff();
+  const std::size_t row_grain = runtime::grain_for_cells(n);
+  const double lo = runtime::chunked_reduce<double>(
+      executor, 0, m, row_grain,
+      [&](std::size_t row_lo, std::size_t row_hi) {
+        double best = std::numeric_limits<double>::infinity();
+        for (std::size_t i = row_lo; i < row_hi; ++i) {
+          for (std::size_t j = 0; j < n; ++j) {
+            best = std::min(best, payoff(i, j));
+          }
+        }
+        return best;
+      },
+      [](double a, double b) { return std::min(a, b); });
   const double shift = (lo <= 0.0) ? (1.0 - lo) : 0.0;
 
   // Column player's LP: maximize sum(z) s.t. B z <= 1, z >= 0 where
@@ -28,15 +58,15 @@ Equilibrium solve_lp_equilibrium(const MatrixGame& game) {
   // give the row strategy p = u * v'; game value = v' - shift.
   LpProblem lp;
   lp.a = la::Matrix(m, n);
-  for (std::size_t i = 0; i < m; ++i) {
+  runtime::parallel_for(executor, 0, m, row_grain, [&](std::size_t i) {
     for (std::size_t j = 0; j < n; ++j) {
-      lp.a(i, j) = game.payoff_at(i, j) + shift;
+      lp.a(i, j) = payoff(i, j) + shift;
     }
-  }
+  });
   lp.b.assign(m, 1.0);
   lp.c.assign(n, 1.0);
 
-  const LpSolution sol = solve_lp(lp);
+  const LpSolution sol = solve_lp(lp, executor);
   PG_ASSERT(sol.status == LpStatus::kOptimal,
             "shifted matrix game LP must be bounded");
   PG_ASSERT(sol.objective > 0.0, "shifted game value must be positive");
@@ -58,10 +88,12 @@ Equilibrium solve_lp_equilibrium(const MatrixGame& game) {
 }
 
 Equilibrium solve_fictitious_play(const MatrixGame& game,
-                                  const IterativeConfig& config) {
+                                  const IterativeConfig& config,
+                                  runtime::Executor* executor) {
   PG_CHECK(config.iterations >= 1, "iterations must be >= 1");
   const std::size_t m = game.num_rows();
   const std::size_t n = game.num_cols();
+  const la::Matrix& payoff = game.payoff();
 
   std::vector<double> row_counts(m, 0.0);
   std::vector<double> col_counts(n, 0.0);
@@ -70,23 +102,66 @@ Equilibrium solve_fictitious_play(const MatrixGame& game,
   std::vector<double> row_scores(m, 0.0);
   std::vector<double> col_scores(n, 0.0);
 
+  // Fixed chunking for the whole solve; partials are preallocated so the
+  // per-iteration loop never touches the heap. Each chunk fuses the score
+  // update with its local best-response scan; the ascending-order fold
+  // below reproduces std::max_element / std::min_element exactly (strict
+  // comparisons at both levels keep the smallest-index tie-break), so the
+  // trajectory -- and therefore the equilibrium -- is bit-identical to
+  // the serial solve at any thread count.
+  const std::size_t row_grain = (m + scan_chunks(m, executor) - 1) /
+                                scan_chunks(m, executor);
+  const std::size_t col_grain = (n + scan_chunks(n, executor) - 1) /
+                                scan_chunks(n, executor);
+  // Recompute the counts from the grain so every chunk is non-empty.
+  const std::size_t row_chunks = (m + row_grain - 1) / row_grain;
+  const std::size_t col_chunks = (n + col_grain - 1) / col_grain;
+  std::vector<runtime::ArgExtremum> row_partials(row_chunks);
+  std::vector<runtime::ArgExtremum> col_partials(col_chunks);
+
   std::size_t row_action = 0;
   std::size_t col_action = 0;
   for (std::size_t t = 0; t < config.iterations; ++t) {
     row_counts[row_action] += 1.0;
     col_counts[col_action] += 1.0;
-    for (std::size_t i = 0; i < m; ++i) {
-      row_scores[i] += game.payoff_at(i, col_action);
+
+    // One fork-join covers both players: chunks [0, row_chunks) scan the
+    // row player (maximizer), the rest scan the column player (minimizer).
+    runtime::parallel_for(
+        executor, 0, row_chunks + col_chunks, 1, [&](std::size_t c) {
+          if (c < row_chunks) {
+            const std::size_t lo = c * row_grain;
+            const std::size_t hi = std::min(m, lo + row_grain);
+            row_scores[lo] += payoff(lo, col_action);
+            runtime::ArgExtremum best{row_scores[lo], lo};
+            for (std::size_t i = lo + 1; i < hi; ++i) {
+              row_scores[i] += payoff(i, col_action);
+              if (row_scores[i] > best.value) best = {row_scores[i], i};
+            }
+            row_partials[c] = best;
+          } else {
+            const std::size_t lo = (c - row_chunks) * col_grain;
+            const std::size_t hi = std::min(n, lo + col_grain);
+            col_scores[lo] += payoff(row_action, lo);
+            runtime::ArgExtremum best{col_scores[lo], lo};
+            for (std::size_t j = lo + 1; j < hi; ++j) {
+              col_scores[j] += payoff(row_action, j);
+              if (col_scores[j] < best.value) best = {col_scores[j], j};
+            }
+            col_partials[c - row_chunks] = best;
+          }
+        });
+
+    runtime::ArgExtremum row_best = row_partials[0];
+    for (std::size_t c = 1; c < row_chunks; ++c) {
+      if (row_partials[c].value > row_best.value) row_best = row_partials[c];
     }
-    for (std::size_t j = 0; j < n; ++j) {
-      col_scores[j] += game.payoff_at(row_action, j);
+    runtime::ArgExtremum col_best = col_partials[0];
+    for (std::size_t c = 1; c < col_chunks; ++c) {
+      if (col_partials[c].value < col_best.value) col_best = col_partials[c];
     }
-    row_action = static_cast<std::size_t>(
-        std::max_element(row_scores.begin(), row_scores.end()) -
-        row_scores.begin());
-    col_action = static_cast<std::size_t>(
-        std::min_element(col_scores.begin(), col_scores.end()) -
-        col_scores.begin());
+    row_action = row_best.index;
+    col_action = col_best.index;
   }
 
   Equilibrium eq;
@@ -97,7 +172,8 @@ Equilibrium solve_fictitious_play(const MatrixGame& game,
 }
 
 Equilibrium solve_multiplicative_weights(const MatrixGame& game,
-                                         const IterativeConfig& config) {
+                                         const IterativeConfig& config,
+                                         runtime::Executor* executor) {
   PG_CHECK(config.iterations >= 1, "iterations must be >= 1");
   const std::size_t m = game.num_rows();
   const std::size_t n = game.num_cols();
@@ -146,8 +222,10 @@ Equilibrium solve_multiplicative_weights(const MatrixGame& game,
     for (std::size_t i = 0; i < m; ++i) row_avg[i] += p[i];
     for (std::size_t j = 0; j < n; ++j) col_avg[j] += q[j];
 
-    const auto row_pay = game.row_payoffs(q);   // row wants high
-    const auto col_pay = game.col_payoffs(p);   // col wants low
+    // The O(m*n) cost of every Hedge step; per-entry accumulation order
+    // is index-fixed, so the parallel matvecs are bit-identical.
+    const auto row_pay = game.row_payoffs(q, executor);  // row wants high
+    const auto col_pay = game.col_payoffs(p, executor);  // col wants low
     for (std::size_t i = 0; i < m; ++i) {
       row_logw[i] += eta_row * (row_pay[i] - lo) / range;
     }

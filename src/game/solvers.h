@@ -7,17 +7,31 @@
 //                                 converge to NE in zero-sum games.
 //  * solve_multiplicative_weights -- Hedge self-play; O(sqrt(log K / T))
 //                                 regret gives an approximate equilibrium.
+//
+// Every solver takes an optional runtime::Executor* (null = serial) and
+// parallelizes its per-iteration inner loops -- the fictitious-play
+// best-response scans over rows/columns, the simplex pricing scan and row
+// elimination, the Hedge payoff matvecs -- with a deterministic chunked
+// reduction (runtime/parallel_reduce.h), so the returned equilibrium is
+// BIT-IDENTICAL to the serial solve at any thread count. This is the same
+// contract tests/runtime_test.cpp asserts for payoff grids, extended to
+// the solvers that consume them.
 #pragma once
 
 #include <cstddef>
 
 #include "game/matrix_game.h"
 
+namespace pg::runtime {
+class Executor;
+}
+
 namespace pg::game {
 
 /// Exact equilibrium via one simplex solve of the shifted game.
 /// See lp.h for the reduction.
-[[nodiscard]] Equilibrium solve_lp_equilibrium(const MatrixGame& game);
+[[nodiscard]] Equilibrium solve_lp_equilibrium(
+    const MatrixGame& game, runtime::Executor* executor = nullptr);
 
 struct IterativeConfig {
   std::size_t iterations = 10000;
@@ -27,12 +41,17 @@ struct IterativeConfig {
 };
 
 /// Fictitious play: both players best-respond to the opponent's empirical
-/// action frequencies; returns the averaged strategies.
-[[nodiscard]] Equilibrium solve_fictitious_play(const MatrixGame& game,
-                                                const IterativeConfig& config = {});
+/// action frequencies; returns the averaged strategies. Each iteration
+/// fuses the score update and the best-response scan into one chunked
+/// parallel pass per player.
+[[nodiscard]] Equilibrium solve_fictitious_play(
+    const MatrixGame& game, const IterativeConfig& config = {},
+    runtime::Executor* executor = nullptr);
 
 /// Multiplicative-weights (Hedge) self-play; returns averaged strategies.
+/// The per-iteration payoff matvecs (the O(m*n) cost) run on the executor.
 [[nodiscard]] Equilibrium solve_multiplicative_weights(
-    const MatrixGame& game, const IterativeConfig& config = {});
+    const MatrixGame& game, const IterativeConfig& config = {},
+    runtime::Executor* executor = nullptr);
 
 }  // namespace pg::game

@@ -1,9 +1,11 @@
 #include "runtime/executor.h"
 
+#include <atomic>
 #include <condition_variable>
 #include <exception>
 #include <memory>
 #include <mutex>
+#include <thread>
 
 #include "util/error.h"
 
@@ -23,8 +25,8 @@ namespace {
 struct LoopState {
   std::mutex mutex;
   std::condition_variable done;
-  std::size_t pending = 0;
-  std::exception_ptr error;  // first failure wins
+  std::atomic<std::size_t> pending{0};
+  std::exception_ptr error;  // first failure wins; guarded by mutex
 };
 
 /// The executor whose pool the current thread is a worker of, if any.
@@ -32,6 +34,29 @@ struct LoopState {
 /// that calls parallel_for on its own executor would block a worker on
 /// sub-chunks that can only run on (already blocked) workers.
 thread_local const ThreadPoolExecutor* tls_running_on = nullptr;
+
+void run_chunk(const ThreadPoolExecutor* self, LoopState& state,
+               std::size_t lo, std::size_t hi,
+               const std::function<void(std::size_t)>& fn) {
+  const ThreadPoolExecutor* prev = tls_running_on;
+  tls_running_on = self;
+  try {
+    for (std::size_t i = lo; i < hi; ++i) fn(i);
+  } catch (...) {
+    std::lock_guard<std::mutex> lock(state.mutex);
+    if (!state.error) state.error = std::current_exception();
+  }
+  tls_running_on = prev;
+}
+
+void finish_chunk(const std::shared_ptr<LoopState>& state) {
+  if (state->pending.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    // Last chunk: notify under the mutex so the waiter cannot check the
+    // counter and sleep between our decrement and our notify.
+    std::lock_guard<std::mutex> lock(state->mutex);
+    state->done.notify_all();
+  }
+}
 
 }  // namespace
 
@@ -54,27 +79,44 @@ void ThreadPoolExecutor::parallel_for(
   }
 
   auto state = std::make_shared<LoopState>();
-  state->pending = chunks;
+  // The caller runs chunk 0 itself and only waits on the rest: one less
+  // dispatch, and the fork-join never idles the issuing thread.
+  state->pending.store(chunks - 1, std::memory_order_relaxed);
 
-  for (std::size_t c = 0; c < chunks; ++c) {
+  for (std::size_t c = 1; c < chunks; ++c) {
     const std::size_t lo = begin + c * grain;
     const std::size_t hi = lo + grain < end ? lo + grain : end;
     pool_.submit([this, state, lo, hi, &fn] {
-      tls_running_on = this;
-      try {
-        for (std::size_t i = lo; i < hi; ++i) fn(i);
-      } catch (...) {
-        std::lock_guard<std::mutex> lock(state->mutex);
-        if (!state->error) state->error = std::current_exception();
-      }
-      tls_running_on = nullptr;
-      std::lock_guard<std::mutex> lock(state->mutex);
-      if (--state->pending == 0) state->done.notify_all();
+      run_chunk(this, *state, lo, hi, fn);
+      finish_chunk(state);
     });
   }
 
-  std::unique_lock<std::mutex> lock(state->mutex);
-  state->done.wait(lock, [&state] { return state->pending == 0; });
+  const std::size_t first_hi = begin + grain < end ? begin + grain : end;
+  run_chunk(this, *state, begin, first_hi, fn);
+
+  // Help-first join: drain queued tasks (this loop's chunks or anyone
+  // else's -- chunk bodies never block, so stealing is always safe), then
+  // spin briefly before sleeping. The condition-variable fallback costs a
+  // futex round-trip -- as long as a whole solver iteration -- so the
+  // fine-grained fork-join cadence must normally complete within the spin.
+  constexpr int kJoinSpinRounds = 128;
+  int spin = 0;
+  while (state->pending.load(std::memory_order_acquire) > 0) {
+    if (pool_.try_run_one()) {
+      spin = 0;
+      continue;
+    }
+    if (spin < kJoinSpinRounds) {
+      if (++spin % 16 == 0) std::this_thread::yield();
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(state->mutex);
+    if (state->pending.load(std::memory_order_acquire) == 0) break;
+    state->done.wait(lock, [&state] {
+      return state->pending.load(std::memory_order_acquire) == 0;
+    });
+  }
   if (state->error) std::rethrow_exception(state->error);
 }
 

@@ -44,7 +44,10 @@ class SerialExecutor final : public Executor {
                     const std::function<void(std::size_t)>& fn) override;
 };
 
-/// Dispatches chunks onto a fixed-size ThreadPool owned by the executor.
+/// Dispatches chunks onto a fixed-size work-stealing ThreadPool owned by
+/// the executor. The calling thread participates: it runs the first chunk
+/// itself and helps drain queued chunks while waiting, so even a two-chunk
+/// loop (e.g. one solver iteration's row scan + column scan) overlaps.
 /// Reentrancy-safe: a parallel_for issued from inside one of this
 /// executor's own loop bodies runs inline on the calling worker instead
 /// of deadlocking on the saturated pool.

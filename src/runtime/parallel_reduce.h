@@ -1,0 +1,138 @@
+// Deterministic parallel reductions on an Executor.
+//
+// parallel_for covers loops whose bodies write disjoint state; the solver
+// engine also needs REDUCTIONS -- the argmax of a best-response score
+// vector, the first column passing Bland's pricing test -- whose parallel
+// result must equal the serial left-to-right scan BIT FOR BIT at any
+// thread count. The scheme here is a fixed two-level tree: the index
+// range is cut into chunks by a grain that is a pure function of the
+// arguments, each chunk computes a partial in parallel (leaf level), and
+// the partials are folded on the calling thread in ascending chunk order
+// (root level). Because every comparison is exact -- no epsilon, no
+// reassociated floating-point accumulation -- the fold reproduces the
+// serial scan's result (including first-index tie-breaking) regardless of
+// how chunks were scheduled.
+//
+// All helpers accept a nullable Executor* (null = serial) like the rest
+// of the runtime.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "runtime/executor.h"
+#include "util/error.h"
+
+namespace pg::runtime {
+
+/// Shared grain policy for loops whose iteration touches `inner_dim`
+/// cells (a matrix row, a tableau row): one chunk per ~4096 touched
+/// cells, so dispatch never outweighs the work and small problems
+/// collapse to a single inline chunk.
+[[nodiscard]] inline std::size_t grain_for_cells(
+    std::size_t inner_dim) noexcept {
+  constexpr std::size_t kCellsPerChunk = 4096;
+  const std::size_t g = kCellsPerChunk / (inner_dim == 0 ? 1 : inner_dim);
+  return g == 0 ? 1 : g;
+}
+
+/// Generic two-level reduction. `map(lo, hi)` computes one chunk's
+/// partial (a pure function of the index range); `fold(acc, partial)`
+/// combines partials in ascending chunk order, starting from the first
+/// chunk's partial. Requires a non-empty range. Exceptions thrown by
+/// `map` propagate to the caller (see Executor::parallel_for).
+template <typename Partial, typename MapFn, typename FoldFn>
+[[nodiscard]] Partial chunked_reduce(Executor* executor, std::size_t begin,
+                                     std::size_t end, std::size_t grain,
+                                     const MapFn& map, const FoldFn& fold) {
+  PG_CHECK(begin < end, "chunked_reduce: empty range");
+  if (grain == 0) grain = 1;
+  const std::size_t count = end - begin;
+  const std::size_t chunks = (count + grain - 1) / grain;
+  if (chunks == 1) return map(begin, end);
+
+  std::vector<Partial> partials(chunks);
+  parallel_for(executor, 0, chunks, 1, [&](std::size_t c) {
+    const std::size_t lo = begin + c * grain;
+    const std::size_t hi = lo + grain < end ? lo + grain : end;
+    partials[c] = map(lo, hi);
+  });
+  Partial acc = partials[0];
+  for (std::size_t c = 1; c < chunks; ++c) acc = fold(acc, partials[c]);
+  return acc;
+}
+
+/// Partial result of an extremum scan: the best value seen in a chunk and
+/// the smallest index attaining it.
+struct ArgExtremum {
+  double value = 0.0;
+  std::size_t index = 0;
+};
+
+/// Index of the FIRST maximum of value(i) over [begin, end) -- exactly
+/// std::max_element's answer -- computed chunk-parallel. Strict-greater
+/// comparisons at both levels preserve the smallest-index tie-break.
+template <typename ValueFn>
+[[nodiscard]] std::size_t parallel_argmax(Executor* executor,
+                                          std::size_t begin, std::size_t end,
+                                          std::size_t grain,
+                                          const ValueFn& value) {
+  return chunked_reduce<ArgExtremum>(
+             executor, begin, end, grain,
+             [&](std::size_t lo, std::size_t hi) {
+               ArgExtremum best{value(lo), lo};
+               for (std::size_t i = lo + 1; i < hi; ++i) {
+                 const double v = value(i);
+                 if (v > best.value) best = {v, i};
+               }
+               return best;
+             },
+             [](const ArgExtremum& a, const ArgExtremum& b) {
+               return b.value > a.value ? b : a;
+             })
+      .index;
+}
+
+/// Index of the FIRST minimum of value(i) over [begin, end) -- exactly
+/// std::min_element's answer.
+template <typename ValueFn>
+[[nodiscard]] std::size_t parallel_argmin(Executor* executor,
+                                          std::size_t begin, std::size_t end,
+                                          std::size_t grain,
+                                          const ValueFn& value) {
+  return parallel_argmax(executor, begin, end, grain,
+                         [&](std::size_t i) { return -value(i); });
+}
+
+/// Smallest index in [begin, end) with pred(i) true, or `end` when none.
+/// Scans block-by-block (each block = `block_chunks` grains evaluated in
+/// parallel) and stops at the first block containing a hit, so the common
+/// early hit costs at most one block of extra evaluations over the serial
+/// break-on-first-hit loop. The answer itself is exact either way.
+template <typename PredFn>
+[[nodiscard]] std::size_t parallel_find_first(Executor* executor,
+                                              std::size_t begin,
+                                              std::size_t end,
+                                              std::size_t grain,
+                                              const PredFn& pred,
+                                              std::size_t block_chunks = 4) {
+  if (grain == 0) grain = 1;
+  if (block_chunks == 0) block_chunks = 1;
+  const std::size_t block = grain * block_chunks;
+  for (std::size_t lo = begin; lo < end; lo += block) {
+    const std::size_t hi = lo + block < end ? lo + block : end;
+    const std::size_t found = chunked_reduce<std::size_t>(
+        executor, lo, hi, grain,
+        [&](std::size_t clo, std::size_t chi) {
+          for (std::size_t i = clo; i < chi; ++i) {
+            if (pred(i)) return i;
+          }
+          return end;  // sentinel: no hit in this chunk
+        },
+        [](std::size_t a, std::size_t b) { return a < b ? a : b; });
+    if (found != end) return found;
+  }
+  return end;
+}
+
+}  // namespace pg::runtime

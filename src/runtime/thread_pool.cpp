@@ -6,6 +6,14 @@
 
 namespace pg::runtime {
 
+namespace {
+/// How many yield rounds a worker polls the deques before sleeping on the
+/// condition variable. Solver loops issue one parallel_for per iteration,
+/// microseconds apart; a short spin keeps workers hot across that gap
+/// without burning meaningful CPU when the pool is genuinely idle.
+constexpr int kSpinRounds = 64;
+}  // namespace
+
 std::size_t default_thread_count() noexcept {
   const unsigned hw = std::thread::hardware_concurrency();
   return hw == 0 ? 1 : static_cast<std::size_t>(hw);
@@ -13,16 +21,22 @@ std::size_t default_thread_count() noexcept {
 
 ThreadPool::ThreadPool(std::size_t threads) {
   const std::size_t n = threads == 0 ? default_thread_count() : threads;
+  deques_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    deques_.push_back(std::make_unique<Deque>());
+  }
   workers_.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] { worker_loop(i); });
   }
 }
 
 ThreadPool::~ThreadPool() {
+  stop_.store(true, std::memory_order_release);
   {
-    std::lock_guard<std::mutex> lock(mutex_);
-    stop_ = true;
+    // Empty critical section: a worker that checked the predicate before
+    // the store is guaranteed to be inside wait() by the time we notify.
+    std::lock_guard<std::mutex> lock(sleep_mutex_);
   }
   cv_.notify_all();
   for (std::thread& w : workers_) w.join();
@@ -30,23 +44,70 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::submit(std::function<void()> task) {
   PG_CHECK(task != nullptr, "ThreadPool::submit: null task");
+  PG_CHECK(!stop_.load(std::memory_order_acquire),
+           "ThreadPool::submit after shutdown");
+  const std::size_t victim =
+      next_deque_.fetch_add(1, std::memory_order_relaxed) % deques_.size();
+  // Increment BEFORE publishing the task: a pop can only follow the push,
+  // so the matching decrement can never land first and transiently wrap
+  // the counter. A worker waking in the window just finds nothing yet.
+  pending_.fetch_add(1, std::memory_order_release);
   {
-    std::lock_guard<std::mutex> lock(mutex_);
-    PG_CHECK(!stop_, "ThreadPool::submit after shutdown");
-    queue_.push_back(std::move(task));
+    std::lock_guard<std::mutex> lock(deques_[victim]->mutex);
+    deques_[victim]->tasks.push_back(std::move(task));
+  }
+  {
+    std::lock_guard<std::mutex> lock(sleep_mutex_);
   }
   cv_.notify_one();
 }
 
-void ThreadPool::worker_loop() {
-  for (;;) {
+std::function<void()> ThreadPool::take_task(std::size_t self) {
+  const std::size_t n = deques_.size();
+  for (std::size_t k = 0; k < n; ++k) {
+    const std::size_t victim = (self + k) % n;
+    Deque& d = *deques_[victim];
+    std::lock_guard<std::mutex> lock(d.mutex);
+    if (d.tasks.empty()) continue;
     std::function<void()> task;
-    {
-      std::unique_lock<std::mutex> lock(mutex_);
-      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
-      if (stop_) return;
-      task = std::move(queue_.front());
-      queue_.pop_front();
+    if (victim == self) {
+      task = std::move(d.tasks.back());  // own deque: LIFO, cache-hot
+      d.tasks.pop_back();
+    } else {
+      task = std::move(d.tasks.front());  // steal: FIFO, oldest first
+      d.tasks.pop_front();
+    }
+    pending_.fetch_sub(1, std::memory_order_relaxed);
+    return task;
+  }
+  return {};
+}
+
+bool ThreadPool::try_run_one() {
+  // size() as `self` never equals a worker index, so the scan is
+  // steal-only and starts at deque 0.
+  std::function<void()> task = take_task(deques_.size());
+  if (!task) return false;
+  task();
+  return true;
+}
+
+void ThreadPool::worker_loop(std::size_t index) {
+  for (;;) {
+    if (stop_.load(std::memory_order_acquire)) return;
+    std::function<void()> task = take_task(index);
+    for (int spin = 0; !task && spin < kSpinRounds; ++spin) {
+      if (stop_.load(std::memory_order_acquire)) return;
+      std::this_thread::yield();
+      task = take_task(index);
+    }
+    if (!task) {
+      std::unique_lock<std::mutex> lock(sleep_mutex_);
+      cv_.wait(lock, [this] {
+        return stop_.load(std::memory_order_acquire) ||
+               pending_.load(std::memory_order_acquire) > 0;
+      });
+      continue;  // re-check stop_ and race for the task at the loop top
     }
     task();  // exceptions are the task's responsibility (see executor.cpp)
   }

@@ -1,4 +1,4 @@
-// Fixed-size worker pool with a FIFO task queue.
+// Fixed-size worker pool with one work-stealing deque per worker.
 //
 // The pool is the low-level engine behind runtime::ThreadPoolExecutor; it
 // knows nothing about loops, RNG streams, or payoffs -- it just runs
@@ -6,16 +6,28 @@
 // tracking, chunking, and exception propagation live in executor.h, where
 // the blocking parallel_for is implemented.
 //
-// Threads are joined in the destructor after the queue drains of running
+// Scheduling: every submission is pushed onto one worker's deque
+// (round-robin). A worker pops its own deque LIFO (newest chunk is the
+// cache-hottest) and, when it runs dry, steals FIFO from the other
+// workers' deques, so a burst of heterogeneous tasks -- cheap closed-form
+// cells next to retrain-priced ones, or uneven solver chunks -- cannot
+// strand work behind one slow worker. A thread blocked on completion can
+// help through try_run_one() instead of sleeping. Workers spin briefly
+// before sleeping so fork-join cadences (one parallel_for per solver
+// iteration) do not pay a wake-up on every beat.
+//
+// Threads are joined in the destructor after the queues drain of running
 // tasks; tasks still queued but not started are discarded on shutdown
 // (every user in this library blocks until its own tasks finish, so
 // nothing is lost in practice).
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -37,18 +49,42 @@ class ThreadPool {
 
   [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
 
-  /// Enqueue a task. Never blocks; tasks run in FIFO order per worker
-  /// pick-up. Must not be called after destruction has begun.
+  /// Enqueue a task onto one worker's deque (round-robin). Never blocks.
+  /// Must not be called after destruction has begun.
   void submit(std::function<void()> task);
 
- private:
-  void worker_loop();
+  /// Pop one queued (not yet started) task and run it on the calling
+  /// thread; returns false when every deque is empty. This is how a
+  /// thread blocked on its own tasks' completion helps drain the pool
+  /// instead of sleeping -- the caller-participation half of work
+  /// stealing.
+  bool try_run_one();
 
+ private:
+  /// One worker's deque. Heap-allocated so the vector never moves a
+  /// mutex; each deque is only touched under its own mutex.
+  struct Deque {
+    std::mutex mutex;
+    std::deque<std::function<void()>> tasks;
+  };
+
+  void worker_loop(std::size_t index);
+
+  /// Own deque back (LIFO), then steal the other deques' fronts (FIFO).
+  /// `self` == size() means "external thread": steal-only, fair scan.
+  [[nodiscard]] std::function<void()> take_task(std::size_t self);
+
+  std::vector<std::unique_ptr<Deque>> deques_;
   std::vector<std::thread> workers_;
-  std::deque<std::function<void()>> queue_;
-  std::mutex mutex_;
+
+  // Sleep/wake bookkeeping. pending_ counts queued-but-not-started tasks;
+  // submit bumps it and pulses sleep_mutex_ so a worker checking the wait
+  // predicate can never miss the increment.
+  std::mutex sleep_mutex_;
   std::condition_variable cv_;
-  bool stop_ = false;
+  std::atomic<std::size_t> pending_{0};
+  std::atomic<bool> stop_{false};
+  std::atomic<std::size_t> next_deque_{0};
 };
 
 }  // namespace pg::runtime

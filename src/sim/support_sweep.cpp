@@ -22,7 +22,8 @@ std::vector<SupportSweepRow> run_support_sweep(
     cfg.support_size = n;
 
     util::Stopwatch watch;
-    const core::DefenseSolution sol = core::compute_optimal_defense(game, cfg);
+    const core::DefenseSolution sol =
+        core::compute_optimal_defense(game, cfg, executor);
     const double seconds = watch.elapsed_seconds();
 
     const MixedEvalResult ev =

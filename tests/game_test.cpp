@@ -1,5 +1,6 @@
 // Unit and property tests for pg::game -- matrix games, the simplex LP
-// solver, iterative equilibrium solvers, best responses and saddle points.
+// solver, iterative equilibrium solvers, best responses and saddle points,
+// and the parallel solver engine's bit-identity contract.
 #include <gtest/gtest.h>
 
 #include <cmath>
@@ -9,6 +10,7 @@
 #include "game/matrix_game.h"
 #include "game/pure_ne.h"
 #include "game/solvers.h"
+#include "runtime/executor.h"
 #include "util/rng.h"
 
 namespace pg::game {
@@ -279,6 +281,175 @@ TEST(SolversTest, IterativeConfigValidation) {
                std::invalid_argument);
   EXPECT_THROW((void)solve_multiplicative_weights(g, {.iterations = 0}),
                std::invalid_argument);
+}
+
+// ------------------------------------------------- parallel solver engine
+
+MatrixGame random_game(std::size_t m, std::size_t n, std::uint64_t seed) {
+  util::Rng rng(seed);
+  la::Matrix a(m, n);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      a(i, j) = rng.uniform(-5.0, 5.0);
+    }
+  }
+  return MatrixGame(std::move(a));
+}
+
+/// Thread counts the bit-identity contract is asserted at: one worker,
+/// a fixed small pool, and whatever this machine offers.
+std::vector<std::size_t> contract_thread_counts() {
+  return {1, 4, runtime::default_thread_count()};
+}
+
+TEST(ParallelSolverTest, LpEquilibriumBitIdenticalAcrossThreadCounts) {
+  // 96x80 keeps the tableau wide enough that the elimination actually
+  // chunks (grain = 4096 cells), so the parallel path is exercised.
+  const MatrixGame g = random_game(96, 80, 7);
+  const auto serial = solve_lp_equilibrium(g);
+  for (std::size_t threads : contract_thread_counts()) {
+    runtime::ThreadPoolExecutor exec(threads);
+    const auto parallel = solve_lp_equilibrium(g, &exec);
+    // EXPECT_EQ, not NEAR: the contract is bit-identity.
+    EXPECT_EQ(parallel.value, serial.value) << threads << " threads";
+    EXPECT_EQ(parallel.row_strategy, serial.row_strategy);
+    EXPECT_EQ(parallel.col_strategy, serial.col_strategy);
+  }
+}
+
+TEST(ParallelSolverTest, RawLpSolutionBitIdenticalIncludingIterations) {
+  LpProblem p;
+  p.a = la::Matrix(40, 60);
+  util::Rng rng(21);
+  for (std::size_t i = 0; i < 40; ++i) {
+    for (std::size_t j = 0; j < 60; ++j) {
+      p.a(i, j) = rng.uniform(0.1, 4.0);
+    }
+  }
+  p.b.assign(40, 1.0);
+  p.c.assign(60, 1.0);
+  const LpSolution serial = solve_lp(p);
+  ASSERT_EQ(serial.status, LpStatus::kOptimal);
+  for (std::size_t threads : contract_thread_counts()) {
+    runtime::ThreadPoolExecutor exec(threads);
+    const LpSolution parallel = solve_lp(p, &exec);
+    EXPECT_EQ(parallel.status, serial.status);
+    EXPECT_EQ(parallel.objective, serial.objective);
+    EXPECT_EQ(parallel.x, serial.x);
+    EXPECT_EQ(parallel.dual, serial.dual);
+    // Serial and parallel walk the same pivot sequence.
+    EXPECT_EQ(parallel.iterations, serial.iterations);
+  }
+}
+
+TEST(ParallelSolverTest, FictitiousPlayBitIdenticalAcrossThreadCounts) {
+  const MatrixGame g = random_game(64, 48, 9);
+  const auto serial = solve_fictitious_play(g, {.iterations = 5000});
+  for (std::size_t threads : contract_thread_counts()) {
+    runtime::ThreadPoolExecutor exec(threads);
+    const auto parallel = solve_fictitious_play(g, {.iterations = 5000}, &exec);
+    EXPECT_EQ(parallel.value, serial.value) << threads << " threads";
+    EXPECT_EQ(parallel.row_strategy, serial.row_strategy);
+    EXPECT_EQ(parallel.col_strategy, serial.col_strategy);
+  }
+}
+
+TEST(ParallelSolverTest, MultiplicativeWeightsBitIdenticalAcrossThreadCounts) {
+  const MatrixGame g = random_game(40, 56, 11);
+  const auto serial = solve_multiplicative_weights(g, {.iterations = 2000});
+  for (std::size_t threads : contract_thread_counts()) {
+    runtime::ThreadPoolExecutor exec(threads);
+    const auto parallel =
+        solve_multiplicative_weights(g, {.iterations = 2000}, &exec);
+    EXPECT_EQ(parallel.value, serial.value) << threads << " threads";
+    EXPECT_EQ(parallel.row_strategy, serial.row_strategy);
+    EXPECT_EQ(parallel.col_strategy, serial.col_strategy);
+  }
+}
+
+// ------------------------------------------- iterations + degenerate games
+
+TEST(LpTest, IterationsCountsPivots) {
+  // The textbook problem needs at least two pivots to reach (2, 6).
+  LpProblem p;
+  p.a = la::Matrix(3, 2);
+  p.a(0, 0) = 1;
+  p.a(1, 1) = 2;
+  p.a(2, 0) = 3;
+  p.a(2, 1) = 2;
+  p.b = {4, 12, 18};
+  p.c = {3, 5};
+  const LpSolution s = solve_lp(p);
+  EXPECT_GE(s.iterations, 2u);
+}
+
+TEST(LpTest, IterationsZeroWhenOriginOptimal) {
+  LpProblem p;
+  p.a = la::Matrix(1, 1);
+  p.a(0, 0) = 1.0;
+  p.b = {5.0};
+  p.c = {-1.0};  // maximizing -x -> the all-slack basis is already optimal
+  const LpSolution s = solve_lp(p);
+  EXPECT_EQ(s.status, LpStatus::kOptimal);
+  EXPECT_EQ(s.iterations, 0u);
+}
+
+TEST(SolversTest, OneByNGameReducesToColumnMinimum) {
+  // Row player has a single action; the column player simply picks the
+  // smallest entry. Degenerate shapes exercise the solvers' edge paths
+  // (1-chunk scans, single-row tableaus).
+  la::Matrix m(1, 4);
+  m(0, 0) = 3.0;
+  m(0, 1) = -1.0;
+  m(0, 2) = 2.0;
+  m(0, 3) = 0.5;
+  const MatrixGame g(std::move(m));
+  const auto lp = solve_lp_equilibrium(g);
+  EXPECT_NEAR(lp.value, -1.0, 1e-9);
+  ASSERT_EQ(lp.row_strategy.size(), 1u);
+  EXPECT_NEAR(lp.row_strategy[0], 1.0, 1e-12);
+  EXPECT_NEAR(lp.col_strategy[1], 1.0, 1e-6);
+
+  // FP spends its first iteration on action 0 before locking onto the
+  // best response, so the 1000-iteration average is 999/1000.
+  const auto fp = solve_fictitious_play(g, {.iterations = 1000});
+  EXPECT_NEAR(fp.value, -1.0, 0.01);
+  EXPECT_NEAR(fp.col_strategy[1], 1.0, 2e-3);
+}
+
+TEST(SolversTest, NByOneGameReducesToRowMaximum) {
+  la::Matrix m(3, 1);
+  m(0, 0) = -2.0;
+  m(1, 0) = 4.0;
+  m(2, 0) = 1.0;
+  const MatrixGame g(std::move(m));
+  const auto lp = solve_lp_equilibrium(g);
+  EXPECT_NEAR(lp.value, 4.0, 1e-9);
+  EXPECT_NEAR(lp.row_strategy[1], 1.0, 1e-6);
+  ASSERT_EQ(lp.col_strategy.size(), 1u);
+  EXPECT_NEAR(lp.col_strategy[0], 1.0, 1e-12);
+
+  const auto fp = solve_fictitious_play(g, {.iterations = 1000});
+  EXPECT_NEAR(fp.value, 4.0, 0.01);
+  EXPECT_NEAR(fp.row_strategy[1], 1.0, 2e-3);
+}
+
+TEST(SolversTest, AllEqualPayoffGameHasFlatValue) {
+  // Every strategy pair yields the same payoff: the value is pinned and
+  // any returned distributions must be valid and unexploitable.
+  la::Matrix m(3, 5, 2.5);
+  const MatrixGame g(std::move(m));
+  const auto lp = solve_lp_equilibrium(g);
+  EXPECT_NEAR(lp.value, 2.5, 1e-9);
+  EXPECT_TRUE(is_distribution(lp.row_strategy, 1e-9));
+  EXPECT_TRUE(is_distribution(lp.col_strategy, 1e-9));
+  EXPECT_NEAR(exploitability(g, lp.row_strategy, lp.col_strategy), 0.0, 1e-9);
+
+  const auto fp = solve_fictitious_play(g, {.iterations = 500});
+  EXPECT_NEAR(fp.value, 2.5, 1e-12);
+  EXPECT_TRUE(is_distribution(fp.row_strategy, 1e-9));
+  EXPECT_NEAR(exploitability(g, fp.row_strategy, fp.col_strategy), 0.0,
+              1e-12);
 }
 
 // ---------------------------------------------------------- best_response

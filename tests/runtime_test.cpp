@@ -5,16 +5,20 @@
 // to their serial counterparts.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <mutex>
 #include <set>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include "core/equilibrium.h"
 #include "core/game_model.h"
 #include "runtime/executor.h"
+#include "runtime/parallel_reduce.h"
 #include "runtime/payoff_evaluator.h"
 #include "runtime/rng_stream.h"
 #include "runtime/thread_pool.h"
@@ -46,6 +50,63 @@ TEST(ThreadPoolTest, ZeroMeansHardwareConcurrency) {
   runtime::ThreadPool pool(0);
   EXPECT_EQ(pool.size(), runtime::default_thread_count());
   EXPECT_GE(pool.size(), 1u);
+}
+
+TEST(ThreadPoolTest, WorkStealingDrainsHeterogeneousTasks) {
+  // Round-robin submission lands cheap and expensive tasks on every
+  // deque; stealing must drain all of them even though one worker's own
+  // queue holds most of the slow ones.
+  std::atomic<int> count{0};
+  {
+    runtime::ThreadPool pool(4);
+    for (int i = 0; i < 64; ++i) {
+      pool.submit([&count, i] {
+        if (i % 8 == 0) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(2));
+        }
+        count.fetch_add(1);
+      });
+    }
+    while (count.load() < 64) std::this_thread::yield();
+  }
+  EXPECT_EQ(count.load(), 64);
+}
+
+TEST(ThreadPoolTest, TasksMaySubmitMoreTasks) {
+  // A running task enqueueing follow-up work must not deadlock or lose
+  // tasks (solver call sites do this through nested evaluator calls).
+  std::atomic<int> count{0};
+  {
+    runtime::ThreadPool pool(2);
+    for (int i = 0; i < 8; ++i) {
+      pool.submit([&pool, &count] {
+        pool.submit([&count] { count.fetch_add(1); });
+        count.fetch_add(1);
+      });
+    }
+    while (count.load() < 16) std::this_thread::yield();
+  }
+  EXPECT_EQ(count.load(), 16);
+}
+
+TEST(ThreadPoolTest, TryRunOneHelpsWhileWorkerIsBusy) {
+  runtime::ThreadPool pool(1);
+  std::atomic<bool> first_started{false};
+  std::atomic<bool> release_first{false};
+  pool.submit([&] {
+    first_started.store(true);
+    while (!release_first.load()) std::this_thread::yield();
+  });
+  while (!first_started.load()) std::this_thread::yield();
+
+  // The only worker is pinned inside the first task, so the second task
+  // can only run if the calling thread steals it.
+  std::atomic<bool> second_ran{false};
+  pool.submit([&] { second_ran.store(true); });
+  EXPECT_TRUE(pool.try_run_one());
+  EXPECT_TRUE(second_ran.load());
+  EXPECT_FALSE(pool.try_run_one()) << "no queued tasks should remain";
+  release_first.store(true);
 }
 
 // ------------------------------------------------------------- executor.h
@@ -114,6 +175,82 @@ TEST(ExecutorTest, NestedParallelForRunsInlineInsteadOfDeadlocking) {
   for (std::size_t k = 0; k < hits.size(); ++k) {
     EXPECT_EQ(hits[k].load(), 1) << "cell " << k;
   }
+}
+
+TEST(ExecutorTest, CallerChunkExceptionPropagates) {
+  // The calling thread runs chunk 0 itself (caller participation); a
+  // throw there must propagate exactly like a worker-chunk throw, after
+  // the remaining chunks finish.
+  runtime::ThreadPoolExecutor exec(4);
+  std::atomic<int> ran{0};
+  EXPECT_THROW(
+      exec.parallel_for(0, 64, 16,
+                        [&](std::size_t i) {
+                          if (i == 0) throw std::runtime_error("chunk 0");
+                          ran.fetch_add(1);
+                        }),
+      std::runtime_error);
+  EXPECT_GE(ran.load(), 48) << "sibling chunks must still run to completion";
+
+  std::atomic<int> count{0};
+  exec.parallel_for(0, 16, 1, [&](std::size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 16) << "executor must stay usable after a failure";
+}
+
+// ------------------------------------------------------ parallel_reduce.h
+
+TEST(ParallelReduceTest, ArgmaxMatchesMaxElementAcrossGrainsAndThreads) {
+  // Values with duplicates: the first-index tie-break must survive every
+  // chunking and thread count.
+  std::vector<double> v = {1.0, 7.0, 3.0, 7.0, -2.0, 7.0, 0.5, 6.0,
+                           7.0, 2.0, -1.0, 4.0, 7.0, 3.5, 0.0};
+  const auto serial_idx = static_cast<std::size_t>(
+      std::max_element(v.begin(), v.end()) - v.begin());
+  runtime::ThreadPoolExecutor pool4(4);
+  for (runtime::Executor* exec :
+       {static_cast<runtime::Executor*>(nullptr),
+        static_cast<runtime::Executor*>(&pool4)}) {
+    for (std::size_t grain : {std::size_t{1}, std::size_t{3}, std::size_t{7},
+                              std::size_t{64}}) {
+      EXPECT_EQ(runtime::parallel_argmax(exec, 0, v.size(), grain,
+                                         [&](std::size_t i) { return v[i]; }),
+                serial_idx)
+          << "grain " << grain;
+      EXPECT_EQ(runtime::parallel_argmin(exec, 0, v.size(), grain,
+                                         [&](std::size_t i) { return v[i]; }),
+                4u)
+          << "grain " << grain;
+    }
+  }
+}
+
+TEST(ParallelReduceTest, FindFirstMatchesSerialScan) {
+  runtime::ThreadPoolExecutor exec(4);
+  for (std::size_t hit : {std::size_t{0}, std::size_t{5}, std::size_t{63},
+                          std::size_t{64}}) {  // 64 == end: no hit
+    for (std::size_t grain : {std::size_t{1}, std::size_t{5},
+                              std::size_t{16}}) {
+      const std::size_t found = runtime::parallel_find_first(
+          &exec, 0, 64, grain, [&](std::size_t i) { return i >= hit; });
+      EXPECT_EQ(found, hit) << "hit " << hit << " grain " << grain;
+    }
+  }
+  EXPECT_EQ(runtime::parallel_find_first(&exec, 0, 64, 8,
+                                         [](std::size_t) { return false; }),
+            64u);
+}
+
+TEST(ParallelReduceTest, ChunkedReduceExceptionPropagates) {
+  runtime::ThreadPoolExecutor exec(4);
+  EXPECT_THROW(
+      (void)runtime::chunked_reduce<double>(
+          &exec, 0, 100, 10,
+          [](std::size_t lo, std::size_t) -> double {
+            if (lo == 50) throw std::runtime_error("map failure");
+            return 1.0;
+          },
+          [](double a, double b) { return a + b; }),
+      std::runtime_error);
 }
 
 TEST(ExecutorTest, NullExecutorResolvesToSerial) {
