@@ -13,7 +13,6 @@
 //                       setting -- the runtime's determinism contract.
 #pragma once
 
-#include <cstdlib>
 #include <iostream>
 #include <memory>
 #include <string>
@@ -22,15 +21,14 @@
 #include "la/matrix.h"
 #include "runtime/executor.h"
 #include "sim/experiment.h"
+#include "util/env.h"
 #include "util/rng.h"
 
 namespace pg::bench {
 
-inline std::size_t env_size(const char* name, std::size_t fallback) {
-  const char* v = std::getenv(name);
-  return v ? static_cast<std::size_t>(std::strtoull(v, nullptr, 10))
-           : fallback;
-}
+// The env parsing itself lives in util/env.h, shared with the scenario
+// engine; the alias keeps the historical pg::bench::env_size spelling.
+using util::env_size;
 
 inline sim::ExperimentConfig paper_config() {
   sim::ExperimentConfig cfg;

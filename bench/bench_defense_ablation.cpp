@@ -1,112 +1,9 @@
-// Design-choice ablations behind the paper's defense:
+// Design-choice ablations behind the paper's defense: centroid-estimator
+// drift under attack, and the distance filter vs kNN / PCA / RONI
+// sanitizer families across attack families.
 //
-//  (1) Centroid estimator (section 3.1's "good method to find the
-//      centroid"): how far does each estimator drift under a 20% boundary
-//      attack, and what does the resulting filter achieve?
-//  (2) Defense family comparison: the distance filter (the paper's) vs the
-//      kNN, PCA and RONI sanitizers from related work, against the
-//      boundary attack and a label-flip attack.
-//
-// Shape targets: median/trimmed centroids drift far less than the mean;
-// no single pure sanitizer dominates across attacks.
-#include <iostream>
-#include <memory>
-#include <vector>
+// Thin wrapper over the registered "defense_ablation" scenario;
+// equivalent to `pg_run --scenario defense_ablation`.
+#include "scenario/engine.h"
 
-#include "attack/boundary_attack.h"
-#include "attack/label_flip.h"
-#include "attack/noise_attack.h"
-#include "bench_common.h"
-#include "defense/centroid.h"
-#include "defense/distance_filter.h"
-#include "defense/knn_filter.h"
-#include "defense/pca_filter.h"
-#include "defense/pipeline.h"
-#include "defense/roni.h"
-#include "la/vector_ops.h"
-#include "util/stopwatch.h"
-#include "util/table.h"
-
-int main() {
-  using namespace pg;
-  std::cout << "=== Defense ablations ===\n";
-  util::Stopwatch watch;
-
-  sim::ExperimentConfig cfg = bench::paper_config();
-  cfg.corpus.n_instances = std::min<std::size_t>(cfg.corpus.n_instances, 2000);
-  cfg.svm.epochs = std::min<std::size_t>(cfg.svm.epochs, 150);
-  const sim::ExperimentContext ctx = sim::prepare_experiment(cfg);
-  bench::print_context(ctx);
-
-  // ---- (1) centroid drift under attack -------------------------------
-  std::cout << "--- centroid estimator drift under 20% boundary attack ---\n";
-  attack::BoundaryAttackConfig acfg;
-  acfg.placement_fraction = 0.05;
-  const attack::BoundaryAttack attack(acfg);
-  util::Rng arng(cfg.seed);
-  const auto poison = attack.generate(ctx.train, ctx.poison_budget, arng);
-  const auto poisoned = data::concatenate(ctx.train, poison);
-
-  util::TextTable drift({"estimator", "drift (class +1)", "drift (class -1)"});
-  for (auto method : {defense::CentroidMethod::kMean,
-                      defense::CentroidMethod::kCoordinateMedian,
-                      defense::CentroidMethod::kTrimmedMean}) {
-    defense::CentroidConfig cc;
-    cc.method = method;
-    std::vector<std::string> row{defense::centroid_method_name(method)};
-    for (int label : {1, -1}) {
-      const auto clean_c = defense::compute_centroid(ctx.train, label, cc);
-      const auto pois_c = defense::compute_centroid(poisoned, label, cc);
-      row.push_back(util::format_double(la::distance(clean_c, pois_c), 3));
-    }
-    drift.add_row(row);
-  }
-  std::cout << drift.str() << "\n";
-
-  // ---- (2) defense family comparison ---------------------------------
-  std::vector<std::unique_ptr<attack::PoisoningAttack>> attacks;
-  attacks.push_back(std::make_unique<attack::BoundaryAttack>(
-      attack::BoundaryAttackConfig{.placement_fraction = 0.10}));
-  attacks.push_back(std::make_unique<attack::LabelFlipAttack>(
-      attack::LabelFlipConfig{attack::FlipSelection::kNearCentroid}));
-  attacks.push_back(std::make_unique<attack::NoiseAttack>());
-
-  std::vector<std::unique_ptr<defense::Filter>> filters;
-  filters.push_back(std::make_unique<defense::DistanceFilter>(
-      defense::DistanceFilterConfig{.removal_fraction = 0.15}));
-  filters.push_back(std::make_unique<defense::KnnFilter>(
-      defense::KnnFilterConfig{.k = 10, .agreement_threshold = 0.5}));
-  filters.push_back(std::make_unique<defense::PcaFilter>(
-      defense::PcaFilterConfig{.components = 5, .removal_fraction = 0.15}));
-  filters.push_back(
-      std::make_unique<defense::RoniFilter>(defense::RoniConfig{}));
-
-  const defense::Pipeline pipeline({cfg.svm});
-  util::Rng rng(cfg.seed + 1);
-  for (const auto& atk : attacks) {
-    std::cout << "--- attack: " << atk->name() << " ---\n";
-    util::TextTable t(
-        {"defense", "accuracy", "det. precision", "det. recall"});
-    {
-      util::Rng r = rng.fork(1);
-      const auto res = pipeline.run(ctx.train, ctx.test, atk.get(),
-                                    ctx.poison_budget, nullptr, r);
-      t.add_row({"(none)", util::format_percent(res.test_accuracy, 2), "-",
-                 "-"});
-    }
-    std::size_t salt = 2;
-    for (const auto& f : filters) {
-      util::Rng r = rng.fork(salt++);
-      const auto res = pipeline.run(ctx.train, ctx.test, atk.get(),
-                                    ctx.poison_budget, f.get(), r);
-      t.add_row({f->name(), util::format_percent(res.test_accuracy, 2),
-                 util::format_percent(res.detection.precision, 1),
-                 util::format_percent(res.detection.recall, 1)});
-    }
-    std::cout << t.str() << "\n";
-  }
-
-  std::cout << "elapsed: " << util::format_double(watch.elapsed_seconds(), 1)
-            << "s\n";
-  return 0;
-}
+int main() { return pg::scenario::run_legacy_bench("defense_ablation"); }

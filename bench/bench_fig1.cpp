@@ -1,69 +1,9 @@
 // Reproduces Figure 1: "Pure strategy defense under optimal attack".
 //
-// Paper series: ML model accuracy (y) against the percentage of data
-// points removed by the distance filter (x), with and without the optimal
-// poisoning attack (20% budget, points placed just inside the filter
-// boundary at the most damaging surviving depth).
-//
-// Shape targets (paper, UCI Spambase): the no-attack curve declines gently
-// from ~0.89 (Gamma rising); the attacked curve starts near the majority
-// floor (~0.62), rises to an interior optimum in the 10-40% band, and the
-// defender loses incentive to filter harder beyond it.
-#include <iostream>
+// Thin wrapper: the protocol lives in the scenario engine as the
+// registered "fig1" spec (src/scenario/registry.cpp); this binary exists
+// for muscle memory and is exactly `pg_run --scenario fig1`. Sizes honor
+// the PG_BENCH_* env knobs as always.
+#include "scenario/engine.h"
 
-#include "bench_common.h"
-#include "sim/curve_fit.h"
-#include "sim/mixed_eval.h"
-#include "sim/pure_sweep.h"
-#include "util/stopwatch.h"
-#include "util/table.h"
-
-int main() {
-  using namespace pg;
-  std::cout << "=== Figure 1: pure strategy defense under optimal attack ===\n";
-  const sim::ExperimentConfig cfg = bench::paper_config();
-  util::Stopwatch watch;
-  const sim::ExperimentContext ctx = sim::prepare_experiment(cfg);
-  bench::print_context(ctx);
-  const auto exec = bench::bench_executor();
-
-  const auto grid = sim::sweep_grid(0.40, 9);
-  const auto sweep =
-      sim::run_pure_sweep(ctx, grid, bench::sweep_reps(), exec.get());
-
-  util::TextTable table({"% removed by filter", "accuracy (no attack)",
-                         "accuracy (optimal attack)", "poison survived"});
-  for (const auto& pt : sweep.points) {
-    table.add_row({util::format_percent(pt.removal_fraction),
-                   util::format_percent(pt.accuracy_no_attack, 2),
-                   util::format_percent(pt.accuracy_attacked, 2),
-                   util::format_percent(pt.poison_survived_fraction, 1)});
-  }
-  std::cout << table.str() << "\n";
-
-  const auto best = sim::best_pure_defense(sweep);
-  const double majority =
-      std::max(ctx.test.positive_fraction(),
-               1.0 - ctx.test.positive_fraction());
-  std::cout << "majority-vote floor:          "
-            << util::format_percent(majority, 2) << "\n";
-  std::cout << "attacked accuracy, no filter: "
-            << util::format_percent(sweep.points.front().accuracy_attacked, 2)
-            << "\n";
-  std::cout << "best pure defense:            remove "
-            << util::format_percent(best.best_fraction) << " -> "
-            << util::format_percent(best.best_accuracy, 2) << "\n";
-
-  const auto curves = sim::fit_payoff_curves(sweep);
-  std::cout << "\nfitted payoff curves (inputs to Algorithm 1):\n";
-  util::TextTable ct({"p", "E(p) per point", "Gamma(p)"});
-  for (const auto& pt : sweep.points) {
-    ct.add_row({util::format_percent(pt.removal_fraction),
-                util::format_double(curves.damage(pt.removal_fraction), 6),
-                util::format_double(curves.cost(pt.removal_fraction), 6)});
-  }
-  std::cout << ct.str();
-  std::cout << "\nelapsed: " << util::format_double(watch.elapsed_seconds(), 1)
-            << "s\n";
-  return 0;
-}
+int main() { return pg::scenario::run_legacy_bench("fig1"); }

@@ -1,6 +1,12 @@
 // google-benchmark microbenchmarks for the library's hot paths: SVM
 // training, attack generation, sanitization filters, the simplex solver,
 // Algorithm 1, and the core kernels they sit on.
+//
+// This is the one bench that keeps its own harness (google-benchmark owns
+// main and the timing loop); the registered "micro" scenario
+// (`pg_run --scenario micro`) covers the engine-native subset -- grid
+// fill and solver speedup_vs_serial with the bit-identity assertion --
+// for environments without libbenchmark.
 #include <benchmark/benchmark.h>
 
 #include <atomic>

@@ -1,61 +1,8 @@
-// Reproduces the section-5 text claim: "We experimented filters with
-// n <= 5, the accuracy of the resulting model stays roughly the same after
-// n = 3 ... the computation time increases significantly when computing
-// high value of n."
+// Reproduces the section-5 text claim: accuracy plateaus for support
+// sizes n >= 3 while Algorithm 1's solve time keeps growing.
 //
-// Shape targets: defender loss (and hence accuracy) plateaus for n >= 3;
-// Algorithm 1's solve time grows with n.
-#include <iostream>
+// Thin wrapper over the registered "nsweep" scenario; equivalent to
+// `pg_run --scenario nsweep`.
+#include "scenario/engine.h"
 
-#include "bench_common.h"
-#include "core/equilibrium.h"
-#include "core/game_model.h"
-#include "sim/curve_fit.h"
-#include "sim/pure_sweep.h"
-#include "sim/support_sweep.h"
-#include "util/stopwatch.h"
-#include "util/table.h"
-
-int main() {
-  using namespace pg;
-  std::cout << "=== Support-size sweep: accuracy plateau after n = 3 ===\n";
-  const sim::ExperimentConfig cfg = bench::paper_config();
-  util::Stopwatch watch;
-  const sim::ExperimentContext ctx = sim::prepare_experiment(cfg);
-  bench::print_context(ctx);
-  const auto exec = bench::bench_executor();
-
-  const auto sweep = sim::run_pure_sweep(ctx, sim::sweep_grid(0.40, 9),
-                                         bench::sweep_reps(), exec.get());
-  const auto curves = sim::fit_payoff_curves(sweep);
-  const core::PoisoningGame game(curves, ctx.poison_budget);
-
-  sim::MixedEvalConfig ecfg;
-  ecfg.draws = 2;
-  const auto rows = sim::run_support_sweep(ctx, game, 5, {}, ecfg, exec.get());
-
-  util::TextTable t({"n", "mixed strategy", "predicted loss",
-                     "adversarial accuracy", "solve time (ms)",
-                     "solver iters"});
-  for (const auto& row : rows) {
-    t.add_row({std::to_string(row.support_size), row.strategy.describe(),
-               util::format_double(row.predicted_loss, 4),
-               util::format_percent(row.adversarial_accuracy, 2),
-               util::format_double(row.solve_seconds * 1e3, 1),
-               std::to_string(row.solve_iterations)});
-  }
-  std::cout << t.str();
-
-  const double drop_2_to_3 = rows[1].predicted_loss - rows[2].predicted_loss;
-  const double drop_3_to_5 = rows[2].predicted_loss - rows[4].predicted_loss;
-  std::cout << "\nloss improvement n=2 -> n=3: "
-            << util::format_double(drop_2_to_3, 5)
-            << "; n=3 -> n=5: " << util::format_double(drop_3_to_5, 5)
-            << (drop_3_to_5 <= drop_2_to_3 + 1e-9
-                    ? "  (plateau after n=3, as in the paper)"
-                    : "  (no plateau -- unexpected)")
-            << "\n";
-  std::cout << "\nelapsed: " << util::format_double(watch.elapsed_seconds(), 1)
-            << "s\n";
-  return 0;
-}
+int main() { return pg::scenario::run_legacy_bench("nsweep"); }

@@ -1,97 +1,9 @@
-// Verifies Proposition 1 numerically: the poisoning game has no pure
-// strategy Nash equilibrium -- on the measured payoff curves AND on a
-// family of analytic curves.
+// Verifies Proposition 1 numerically: no pure strategy NE -- positive
+// duality gap, zero saddle points, cycling best-response dynamics -- on
+// measured and analytic payoff curves, with a saddle-point control game.
 //
-// Shape targets: zero saddle points, strictly positive duality gap
-// (minimax - maximin), and cycling (never-settling) best-response
-// dynamics; the control game with a dominant strategy must show the
-// opposite on all three.
-#include <iostream>
+// Thin wrapper over the registered "prop1" scenario; equivalent to
+// `pg_run --scenario prop1`.
+#include "scenario/engine.h"
 
-#include "bench_common.h"
-#include "core/game_model.h"
-#include "core/ne_properties.h"
-#include "game/pure_ne.h"
-#include "sim/curve_fit.h"
-#include "sim/pure_sweep.h"
-#include "util/stopwatch.h"
-#include "util/table.h"
-
-namespace {
-
-void report(const std::string& name, const pg::core::PoisoningGame& game,
-            pg::util::TextTable& table) {
-  using namespace pg;
-  const auto rep = core::analyze_pure_equilibria(game, 96);
-  const auto dynamics = core::best_response_dynamics(game, 0.05, 24);
-  // Count distinct defender responses in the trace: cycling means the
-  // dynamics keep visiting new or repeated non-fixed states.
-  std::size_t moves = 0;
-  for (std::size_t i = 1; i < dynamics.size(); ++i) {
-    if (std::abs(dynamics[i].defender_theta -
-                 dynamics[i - 1].defender_theta) > 1e-9) {
-      ++moves;
-    }
-  }
-  table.add_row({name, util::format_double(rep.maximin, 5),
-                 util::format_double(rep.minimax, 5),
-                 util::format_double(rep.gap, 5),
-                 std::to_string(rep.saddle_points),
-                 std::to_string(moves) + "/" +
-                     std::to_string(dynamics.size() - 1)});
-}
-
-}  // namespace
-
-int main() {
-  using namespace pg;
-  std::cout << "=== Proposition 1: non-existence of pure strategy NE ===\n";
-  util::Stopwatch watch;
-
-  util::TextTable table({"game", "maximin", "minimax", "gap (>0 => no pure NE)",
-                         "saddle points", "BR moves"});
-
-  // Measured curves from a reduced sweep (the proposition is about the
-  // game structure, not the corpus size).
-  sim::ExperimentConfig cfg = bench::paper_config();
-  cfg.corpus.n_instances = std::min<std::size_t>(cfg.corpus.n_instances, 1500);
-  cfg.svm.epochs = std::min<std::size_t>(cfg.svm.epochs, 120);
-  const sim::ExperimentContext ctx = sim::prepare_experiment(cfg);
-  const auto exec = bench::bench_executor();
-  const auto sweep = sim::run_pure_sweep(ctx, sim::sweep_grid(0.40, 9),
-                                         bench::sweep_reps(), exec.get());
-  const auto measured = sim::fit_payoff_curves(sweep);
-  report("measured (Spambase-like sweep)",
-         core::PoisoningGame(measured, ctx.poison_budget), table);
-
-  // Analytic curve families.
-  report("analytic E=(1-p)^5, G=p^1.4",
-         core::PoisoningGame(core::PayoffCurves::analytic(0.002, 5.0, 0.06, 1.4),
-                             100),
-         table);
-  report("analytic E=(1-p)^3, G=p^1.0",
-         core::PoisoningGame(core::PayoffCurves::analytic(0.001, 3.0, 0.02, 1.0),
-                             100),
-         table);
-  report("analytic E=(1-p)^8, G=p^2.0",
-         core::PoisoningGame(core::PayoffCurves::analytic(0.005, 8.0, 0.10, 2.0),
-                             100),
-         table);
-  std::cout << table.str();
-
-  std::cout << "\ncontrol: a game WITH a pure equilibrium (constant damage,\n"
-               "zero cost) must report gap ~ 0 and saddle points > 0:\n";
-  // E constant => the attacker is indifferent to theta; any (psi, theta)
-  // with theta maximal is a saddle of the discretized game.
-  const core::PayoffCurves flat(
-      util::PiecewiseLinear({0.0, 1.0}, {0.001, 0.001}),
-      util::PiecewiseLinear({0.0, 1.0}, {0.0, 0.0}));
-  const auto rep = core::analyze_pure_equilibria(
-      core::PoisoningGame(flat, 100), 96);
-  std::cout << "  gap=" << util::format_double(rep.gap, 9)
-            << "  saddle points=" << rep.saddle_points << "\n";
-
-  std::cout << "\nelapsed: " << util::format_double(watch.elapsed_seconds(), 1)
-            << "s\n";
-  return 0;
-}
+int main() { return pg::scenario::run_legacy_bench("prop1"); }

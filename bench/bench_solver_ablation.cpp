@@ -1,110 +1,11 @@
-// Solver ablation (Proposition 2 cross-check): four independent routes to
-// the mixed equilibrium of the poisoning game must agree.
+// Solver ablation (Proposition 2 cross-check): Algorithm 1, exact
+// simplex LP, fictitious play, and multiplicative weights must agree on
+// the mixed equilibrium of the poisoning game.
 //
-//   * Algorithm 1 (the paper's solver, continuous strategies)
-//   * exact simplex LP on the discretized game
-//   * fictitious play on the discretized game
-//   * multiplicative weights on the discretized game
-//
-// Shape targets: all four report (near-)equal game values; the LP strategy
-// is unexploitable; Algorithm 1's loss tracks the LP value within
-// discretization error at a fraction of the cost.
-#include <iostream>
+// Thin wrapper over the registered "solver_ablation" scenario;
+// equivalent to `pg_run --scenario solver_ablation`. Try
+// `pg_run --scenario solver_ablation --set lp_pricing=dantzig` for the
+// Dantzig-priced simplex.
+#include "scenario/engine.h"
 
-#include "bench_common.h"
-#include "core/equilibrium.h"
-#include "core/game_model.h"
-#include "core/ne_properties.h"
-#include "game/best_response.h"
-#include "game/solvers.h"
-#include "sim/curve_fit.h"
-#include "sim/pure_sweep.h"
-#include "util/stopwatch.h"
-#include "util/table.h"
-
-namespace {
-
-void ablate(const std::string& name, const pg::core::PoisoningGame& game,
-            pg::runtime::Executor* exec) {
-  using namespace pg;
-  std::cout << "--- " << name << " ---\n";
-  util::TextTable t({"solver", "defender loss / game value", "exploitability",
-                     "time (ms)"});
-
-  {
-    util::Stopwatch w;
-    core::Algorithm1Config cfg;
-    cfg.support_size = 5;
-    const auto sol = core::compute_optimal_defense(game, cfg, exec);
-    const auto ex = core::attacker_exploitability(game, sol.strategy, 4096);
-    t.add_row({"Algorithm 1 (paper, n=5)",
-               util::format_double(sol.defender_loss, 6),
-               util::format_double(ex.gain, 6),
-               util::format_double(w.elapsed_ms(), 2)});
-  }
-
-  const std::size_t grid = 128;
-  const auto mg = game.discretize(grid, grid, exec);
-  {
-    util::Stopwatch w;
-    const auto eq = game::solve_lp_equilibrium(mg, exec);
-    t.add_row({"simplex LP (128x128 grid)", util::format_double(eq.value, 6),
-               util::format_double(
-                   game::exploitability(mg, eq.row_strategy, eq.col_strategy),
-                   6),
-               util::format_double(w.elapsed_ms(), 2)});
-  }
-  {
-    util::Stopwatch w;
-    const auto eq =
-        game::solve_fictitious_play(mg, {.iterations = 20000}, exec);
-    t.add_row({"fictitious play (20k iters)",
-               util::format_double(eq.value, 6),
-               util::format_double(
-                   game::exploitability(mg, eq.row_strategy, eq.col_strategy),
-                   6),
-               util::format_double(w.elapsed_ms(), 2)});
-  }
-  {
-    util::Stopwatch w;
-    const auto eq =
-        game::solve_multiplicative_weights(mg, {.iterations = 20000}, exec);
-    t.add_row({"multiplicative weights (20k)",
-               util::format_double(eq.value, 6),
-               util::format_double(
-                   game::exploitability(mg, eq.row_strategy, eq.col_strategy),
-                   6),
-               util::format_double(w.elapsed_ms(), 2)});
-  }
-  std::cout << t.str() << "\n";
-}
-
-}  // namespace
-
-int main() {
-  using namespace pg;
-  std::cout << "=== Solver ablation: four routes to the mixed NE ===\n\n";
-  util::Stopwatch watch;
-  const auto exec = bench::bench_executor();
-
-  ablate("analytic curves E=0.002(1-p)^5, Gamma=0.06 p^1.4, N=100",
-         core::PoisoningGame(
-             core::PayoffCurves::analytic(0.002, 5.0, 0.06, 1.4), 100),
-         exec.get());
-
-  sim::ExperimentConfig cfg = bench::paper_config();
-  cfg.corpus.n_instances = std::min<std::size_t>(cfg.corpus.n_instances, 1500);
-  cfg.svm.epochs = std::min<std::size_t>(cfg.svm.epochs, 120);
-  const sim::ExperimentContext ctx = sim::prepare_experiment(cfg);
-  const auto sweep = sim::run_pure_sweep(ctx, sim::sweep_grid(0.40, 9),
-                                         bench::sweep_reps(), exec.get());
-  ablate("measured curves (Spambase-like sweep), N=" +
-             std::to_string(ctx.poison_budget),
-         core::PoisoningGame(sim::fit_payoff_curves(sweep),
-                             ctx.poison_budget),
-         exec.get());
-
-  std::cout << "elapsed: " << util::format_double(watch.elapsed_seconds(), 1)
-            << "s\n";
-  return 0;
-}
+int main() { return pg::scenario::run_legacy_bench("solver_ablation"); }

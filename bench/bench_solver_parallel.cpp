@@ -1,138 +1,14 @@
 // Parallel solver engine bench: serial vs executor-parallel equilibrium
-// solves on random zero-sum games across matrix sizes, reporting
-// speedup_vs_serial for the simplex LP and fictitious play (the two
-// solvers on every experiment's hot path). The bench also ASSERTS the
-// determinism contract -- the parallel equilibrium must be bit-identical
-// to the serial one -- so a scheduling regression fails loudly here, not
-// silently in a sweep.
+// solves across matrix sizes, reporting speedup_vs_serial and ASSERTING
+// the bit-identity determinism contract.
 //
-// Knobs: PG_BENCH_THREADS (0 = all cores, 1 = serial executor),
-// PG_BENCH_SOLVER_REPS (timing repetitions, best-of; default 3).
-// Usage: bench_solver_parallel [out.json]  -- optionally writes the rows
-// as JSON for the CI artifact trail.
-#include <fstream>
-#include <iostream>
-#include <string>
-#include <vector>
-
-#include "bench_common.h"
-#include "game/matrix_game.h"
-#include "game/solvers.h"
-#include "la/matrix.h"
-#include "runtime/executor.h"
-#include "util/error.h"
-#include "util/rng.h"
-#include "util/stopwatch.h"
-#include "util/table.h"
-
-namespace {
-
-using namespace pg;
-using pg::bench::random_game;
-
-void check_identical(const game::Equilibrium& serial,
-                     const game::Equilibrium& parallel) {
-  PG_ASSERT(serial.value == parallel.value,
-            "parallel solver broke bit-identity (value)");
-  PG_ASSERT(serial.row_strategy == parallel.row_strategy,
-            "parallel solver broke bit-identity (row strategy)");
-  PG_ASSERT(serial.col_strategy == parallel.col_strategy,
-            "parallel solver broke bit-identity (col strategy)");
-}
-
-struct Row {
-  std::string solver;
-  std::size_t size = 0;
-  double serial_ms = 0.0;
-  double parallel_ms = 0.0;
-  double speedup = 0.0;
-};
-
-template <typename SolveFn>
-Row time_solver(const std::string& name, std::size_t size,
-                const game::MatrixGame& g, runtime::Executor* exec,
-                std::size_t reps, const SolveFn& solve) {
-  game::Equilibrium serial_eq;
-  double serial_best = 1e300;
-  for (std::size_t r = 0; r < reps; ++r) {
-    util::Stopwatch w;
-    serial_eq = solve(g, nullptr);
-    serial_best = std::min(serial_best, w.elapsed_ms());
-  }
-  game::Equilibrium parallel_eq;
-  double parallel_best = 1e300;
-  for (std::size_t r = 0; r < reps; ++r) {
-    util::Stopwatch w;
-    parallel_eq = solve(g, exec);
-    parallel_best = std::min(parallel_best, w.elapsed_ms());
-  }
-  check_identical(serial_eq, parallel_eq);
-  return {name, size, serial_best, parallel_best,
-          serial_best / parallel_best};
-}
-
-}  // namespace
+// Thin wrapper over the registered "solver_parallel" scenario;
+// equivalent to `pg_run --scenario solver_parallel`. The optional
+// argument keeps the historical CI usage: bench_solver_parallel [out.json]
+// also writes the structured result as JSON.
+#include "scenario/engine.h"
 
 int main(int argc, char** argv) {
-  using namespace pg;
-  std::cout << "=== Parallel solver engine: speedup_vs_serial ===\n";
-  const auto exec = bench::bench_executor();
-  const std::size_t reps = bench::env_size("PG_BENCH_SOLVER_REPS", 3);
-  std::cout << "\n";
-
-  std::vector<Row> rows;
-
-  // Simplex: per-pivot cost is O(m * cols), so the elimination chunks
-  // carry real work from ~128x128 up.
-  for (std::size_t size : {std::size_t{96}, std::size_t{192}, std::size_t{256},
-                           std::size_t{384}}) {
-    const auto g = random_game(size, size, 1000 + size);
-    rows.push_back(time_solver(
-        "simplex LP", size, g, exec.get(), reps,
-        [](const game::MatrixGame& mg, runtime::Executor* e) {
-          return game::solve_lp_equilibrium(mg, e);
-        }));
-  }
-
-  // Fictitious play: per-iteration cost is O(m + n) (a strided column
-  // gather dominates), so the fork-join only wins once the scans are
-  // wide; the row set reaches into that regime.
-  const game::IterativeConfig fp_cfg{.iterations = 3000};
-  for (std::size_t size : {std::size_t{256}, std::size_t{512},
-                           std::size_t{1024}, std::size_t{2048}}) {
-    const auto g = random_game(size, size, 2000 + size);
-    rows.push_back(time_solver(
-        "fictitious play", size, g, exec.get(), reps,
-        [&fp_cfg](const game::MatrixGame& mg, runtime::Executor* e) {
-          return game::solve_fictitious_play(mg, fp_cfg, e);
-        }));
-  }
-
-  util::TextTable t(
-      {"solver", "matrix", "serial (ms)", "parallel (ms)", "speedup_vs_serial"});
-  for (const Row& r : rows) {
-    t.add_row({r.solver, std::to_string(r.size) + "x" + std::to_string(r.size),
-               util::format_double(r.serial_ms, 2),
-               util::format_double(r.parallel_ms, 2),
-               util::format_double(r.speedup, 2)});
-  }
-  std::cout << t.str()
-            << "\nall parallel equilibria bit-identical to serial\n";
-
-  if (argc > 1) {
-    std::ofstream out(argv[1]);
-    out << "[\n";
-    for (std::size_t i = 0; i < rows.size(); ++i) {
-      const Row& r = rows[i];
-      out << "  {\"solver\": \"" << r.solver << "\", \"rows\": " << r.size
-          << ", \"cols\": " << r.size << ", \"serial_ms\": " << r.serial_ms
-          << ", \"parallel_ms\": " << r.parallel_ms
-          << ", \"speedup_vs_serial\": " << r.speedup
-          << ", \"threads\": " << exec->concurrency() << "}"
-          << (i + 1 < rows.size() ? "," : "") << "\n";
-    }
-    out << "]\n";
-    std::cout << "wrote " << argv[1] << "\n";
-  }
-  return 0;
+  return pg::scenario::run_legacy_bench("solver_parallel",
+                                        argc > 1 ? argv[1] : "");
 }

@@ -1,115 +1,9 @@
 // Reproduces Table 1: "Mixed strategy defense under optimal attack".
 //
-// Paper rows (UCI Spambase, n = number of radii in the mixed strategy):
-//   n=2: radii {5.8%, 15.7%}           probs {51.2%, 48.8%}        acc 85.6%
-//   n=3: radii {5.8%, 9.4%, 16.3%}     probs {33.3%, 33.3%, 33.4%} acc 86.1%
-// plus the claim that the mixed accuracy strictly exceeds every pure
-// defense's accuracy under the corresponding optimal attack.
-//
-// Shape targets on the synthetic substitute: Algorithm 1 produces a
-// properly-mixed, attacker-indifferent strategy whose predicted loss beats
-// every pure strategy; empirically its adversarial accuracy is at least
-// competitive with the best pure defense and far above the undefended
-// attack.
-#include <iostream>
+// Thin wrapper over the registered "table1" scenario (Algorithm 1 at
+// n = 2 and 3, attacker-indifferent mixed strategies, empirical
+// adversarial accuracy, and the mixed-beats-pure comparison claim).
+// Equivalent to `pg_run --scenario table1`.
+#include "scenario/engine.h"
 
-#include "bench_common.h"
-#include "core/equilibrium.h"
-#include "core/game_model.h"
-#include "core/ne_properties.h"
-#include "sim/curve_fit.h"
-#include "sim/mixed_eval.h"
-#include "sim/pure_sweep.h"
-#include "util/stopwatch.h"
-#include "util/table.h"
-
-int main() {
-  using namespace pg;
-  std::cout << "=== Table 1: mixed strategy defense under optimal attack ===\n";
-  const sim::ExperimentConfig cfg = bench::paper_config();
-  util::Stopwatch watch;
-  const sim::ExperimentContext ctx = sim::prepare_experiment(cfg);
-  bench::print_context(ctx);
-  const auto exec = bench::bench_executor();
-  // The n=2 and n=3 evaluations share a payoff cache: support points
-  // common to both strategies retrain once.
-  runtime::PayoffCache cache;
-  const runtime::PayoffEvaluator evaluator(*exec, &cache);
-
-  // Inputs to Algorithm 1: E(p) and Gamma(p) approximated from the Fig-1
-  // sweep, exactly as in the paper's section 5.
-  const auto grid = sim::sweep_grid(0.40, 9);
-  const auto sweep =
-      sim::run_pure_sweep(ctx, grid, bench::sweep_reps(), exec.get());
-  const auto curves = sim::fit_payoff_curves(sweep);
-  const core::PoisoningGame game(curves, ctx.poison_budget);
-  const auto pure = sim::best_pure_defense(sweep);
-
-  for (std::size_t n : {2, 3}) {
-    core::Algorithm1Config acfg;
-    acfg.support_size = n;
-    const auto sol = core::compute_optimal_defense(game, acfg, exec.get());
-    const auto indiff = core::check_indifference(game, sol.strategy, 1e-3);
-
-    sim::MixedEvalConfig ecfg;
-    ecfg.draws = 3;
-    const auto eval =
-        sim::evaluate_mixed_defense(ctx, sol.strategy, ecfg, evaluator);
-
-    std::cout << "--- n = " << n << " radii ---\n";
-    util::TextTable t({"radius (removal %)", "probability"});
-    for (std::size_t i = 0; i < sol.strategy.support_size(); ++i) {
-      t.add_row({util::format_percent(sol.strategy.removal_fractions()[i]),
-                 util::format_percent(sol.strategy.probabilities()[i])});
-    }
-    std::cout << t.str();
-    std::cout << "predicted defender loss f(S):   "
-              << util::format_double(sol.defender_loss, 4)
-              << "  (converged=" << (sol.converged ? "yes" : "no")
-              << ", iters=" << sol.iterations << ")\n";
-    std::cout << "NE conditions: properly mixed="
-              << (indiff.properly_mixed ? "yes" : "no")
-              << ", indifference spread="
-              << util::format_double(indiff.relative_spread, 6) << "\n";
-    std::cout << "accuracy under optimal attack:  "
-              << util::format_percent(eval.adversarial_accuracy, 2) << "\n";
-    std::cout << "accuracy with no attack:        "
-              << util::format_percent(eval.no_attack_accuracy, 2) << "\n\n";
-  }
-  std::cout << "payoff cache: " << cache.size() << " cells trained, "
-            << evaluator.cache_hits() << " served from cache\n\n";
-
-  // The paper's comparison claim.
-  double best_pure_predicted = 1e300;
-  double best_theta = 0.0;
-  for (double theta = 0.0; theta <= 0.40; theta += 0.0025) {
-    const double loss =
-        static_cast<double>(ctx.poison_budget) * curves.damage(theta) +
-        curves.cost(theta);
-    if (loss < best_pure_predicted) {
-      best_pure_predicted = loss;
-      best_theta = theta;
-    }
-  }
-  core::Algorithm1Config acfg3;
-  acfg3.support_size = 3;
-  const auto sol3 = core::compute_optimal_defense(game, acfg3, exec.get());
-  std::cout << "--- mixed vs pure (the Table-1 claim) ---\n";
-  std::cout << "best pure strategy:   theta=" << util::format_percent(best_theta)
-            << "  predicted loss=" << util::format_double(best_pure_predicted, 4)
-            << "  measured accuracy=" << util::format_percent(pure.best_accuracy, 2)
-            << "\n";
-  std::cout << "mixed strategy (n=3): " << sol3.strategy.describe()
-            << "  predicted loss=" << util::format_double(sol3.defender_loss, 4)
-            << "\n";
-  std::cout << "predicted-loss ordering: mixed "
-            << (sol3.defender_loss < best_pure_predicted ? "<" : ">=")
-            << " best pure  "
-            << (sol3.defender_loss < best_pure_predicted
-                    ? "(mixed wins, as in the paper)"
-                    : "(unexpected)")
-            << "\n";
-  std::cout << "\nelapsed: " << util::format_double(watch.elapsed_seconds(), 1)
-            << "s\n";
-  return 0;
-}
+int main() { return pg::scenario::run_legacy_bench("table1"); }

@@ -1,76 +1,9 @@
 // Extension bench (the paper's future work, section 6): do the payoff
-// curves E(p)/Gamma(p) -- and hence the mixed defense solved from them --
+// curves E(p)/Gamma(p) -- and the mixed defense solved from them --
 // generalize across datasets?
 //
-// Protocol: solve Algorithm 1 on a source corpus, transplant the strategy
-// to target corpora with (a) a different seed and (b) weaker class
-// separability, and compare with the natively-solved strategy on each
-// target. A near-zero gap supports the paper's conjecture of a
-// generalized E/Gamma.
-#include <iostream>
+// Thin wrapper over the registered "transfer" scenario; equivalent to
+// `pg_run --scenario transfer`.
+#include "scenario/engine.h"
 
-#include "bench_common.h"
-#include "sim/transfer.h"
-#include "util/stopwatch.h"
-#include "util/table.h"
-
-int main() {
-  using namespace pg;
-  std::cout << "=== Curve-transfer extension: does E/Gamma generalize? ===\n";
-  util::Stopwatch watch;
-
-  sim::ExperimentConfig base = bench::paper_config();
-  base.corpus.n_instances =
-      std::min<std::size_t>(base.corpus.n_instances, 2000);
-  base.svm.epochs = std::min<std::size_t>(base.svm.epochs, 150);
-  const auto source = sim::prepare_experiment(base);
-  std::cout << "source corpus: clean accuracy "
-            << util::format_percent(source.clean_accuracy, 2) << ", N = "
-            << source.poison_budget << "\n\n";
-
-  struct Target {
-    std::string name;
-    sim::ExperimentConfig cfg;
-  };
-  std::vector<Target> targets;
-  {
-    Target t{"same generator, different seed", base};
-    t.cfg.seed = base.seed + 1000;
-    targets.push_back(t);
-  }
-  {
-    Target t{"weaker class separation (0.8x)", base};
-    t.cfg.seed = base.seed + 2000;
-    t.cfg.corpus.class_separation = 0.8;
-    targets.push_back(t);
-  }
-  {
-    Target t{"smaller corpus (60%)", base};
-    t.cfg.seed = base.seed + 3000;
-    t.cfg.corpus.n_instances = base.corpus.n_instances * 3 / 5;
-    targets.push_back(t);
-  }
-
-  sim::TransferConfig tcfg;
-  tcfg.eval.draws = 2;
-  tcfg.sweep_replications = bench::sweep_reps();
-  const auto exec = bench::bench_executor();
-
-  util::TextTable table({"target", "source strategy on target",
-                         "native strategy on target", "transfer gap"});
-  for (const auto& target : targets) {
-    const auto ctx = sim::prepare_experiment(target.cfg);
-    const auto result =
-        sim::run_transfer_experiment(source, ctx, tcfg, exec.get());
-    table.add_row({target.name,
-                   util::format_percent(result.transferred_accuracy, 2),
-                   util::format_percent(result.native_accuracy, 2),
-                   util::format_percent(result.transfer_gap, 2)});
-  }
-  std::cout << table.str();
-  std::cout << "\n(gap ~ 0 supports the paper's conjecture that a\n"
-               "generalized E(p)/Gamma(p) exists across datasets)\n";
-  std::cout << "\nelapsed: " << util::format_double(watch.elapsed_seconds(), 1)
-            << "s\n";
-  return 0;
-}
+int main() { return pg::scenario::run_legacy_bench("transfer"); }

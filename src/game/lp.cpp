@@ -13,7 +13,19 @@ constexpr double kEps = 1e-11;
 constexpr std::size_t kPricingGrain = 192;
 }  // namespace
 
-LpSolution solve_lp(const LpProblem& problem, runtime::Executor* executor) {
+LpPricing parse_lp_pricing(const std::string& name) {
+  if (name == "bland") return LpPricing::kBland;
+  if (name == "dantzig") return LpPricing::kDantzig;
+  PG_CHECK(false, "unknown LP pricing rule: " + name);
+  return LpPricing::kBland;  // unreachable
+}
+
+const char* lp_pricing_name(LpPricing pricing) {
+  return pricing == LpPricing::kDantzig ? "dantzig" : "bland";
+}
+
+LpSolution solve_lp(const LpProblem& problem, runtime::Executor* executor,
+                    const LpConfig& config) {
   const std::size_t m = problem.a.rows();
   const std::size_t n = problem.a.cols();
   PG_CHECK(m > 0 && n > 0, "solve_lp: empty problem");
@@ -43,13 +55,29 @@ LpSolution solve_lp(const LpProblem& problem, runtime::Executor* executor) {
 
   LpSolution sol;
   const std::size_t max_iters = 50 * (m + n) * (m + n) + 1000;
+  // Dantzig pricing has no anti-cycling guarantee; past this (generous,
+  // deterministic) pivot budget the solver falls back to Bland, whose
+  // guarantee then finishes the solve. Well-behaved problems optimize in
+  // O(m + n) pivots and never get near it.
+  const std::size_t dantzig_budget = 16 * (m + n) + 256;
   for (;;) {
-    // Entering column: Bland's rule -- smallest index with negative
-    // reduced cost. The blocked parallel scan returns exactly the serial
-    // first hit.
-    const std::size_t enter = runtime::parallel_find_first(
-        executor, 0, cols - 1, kPricingGrain,
-        [objective_row](std::size_t j) { return objective_row[j] < -kEps; });
+    // Entering column. Bland: smallest index with negative reduced cost
+    // (the blocked parallel scan returns exactly the serial first hit).
+    // Dantzig: most negative reduced cost, smallest index on exact ties
+    // (parallel_argmin reproduces the serial scan bit for bit).
+    const bool dantzig = config.pricing == LpPricing::kDantzig &&
+                         sol.iterations < dantzig_budget;
+    std::size_t enter;
+    if (dantzig) {
+      const std::size_t best = runtime::parallel_argmin(
+          executor, 0, cols - 1, kPricingGrain,
+          [objective_row](std::size_t j) { return objective_row[j]; });
+      enter = objective_row[best] < -kEps ? best : cols - 1;
+    } else {
+      enter = runtime::parallel_find_first(
+          executor, 0, cols - 1, kPricingGrain,
+          [objective_row](std::size_t j) { return objective_row[j] < -kEps; });
+    }
     if (enter == cols - 1) break;  // optimal
 
     // Leaving row: minimum ratio; ties broken by smallest basis index

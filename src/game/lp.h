@@ -18,6 +18,7 @@
 #pragma once
 
 #include <cstddef>
+#include <string>
 #include <vector>
 
 #include "la/matrix.h"
@@ -29,6 +30,30 @@ class Executor;
 namespace pg::game {
 
 enum class LpStatus { kOptimal, kUnbounded };
+
+/// Entering-column pricing rule.
+enum class LpPricing {
+  /// Bland's rule: smallest index with a negative reduced cost. Slower on
+  /// big tableaus but carries the anti-cycling termination guarantee, so
+  /// it is the default (and the determinism reference).
+  kBland,
+  /// Dantzig's rule: most negative reduced cost (smallest index on exact
+  /// ties), which usually takes far fewer pivots. Dantzig alone can cycle
+  /// on degenerate problems, so the solver deterministically switches to
+  /// Bland once the pivot count passes a problem-sized threshold -- the
+  /// classic hybrid that keeps both speed and termination. Both rules are
+  /// bit-deterministic at any thread count (exact chunked reductions).
+  kDantzig,
+};
+
+struct LpConfig {
+  LpPricing pricing = LpPricing::kBland;
+};
+
+/// Parse "bland" / "dantzig" (exact spelling). Throws
+/// std::invalid_argument on anything else.
+[[nodiscard]] LpPricing parse_lp_pricing(const std::string& name);
+[[nodiscard]] const char* lp_pricing_name(LpPricing pricing);
 
 struct LpSolution {
   LpStatus status = LpStatus::kOptimal;
@@ -51,6 +76,7 @@ struct LpProblem {
 /// (dimension mismatch or negative b). `executor` (null -> serial)
 /// parallelizes the per-pivot pricing scan and row elimination.
 [[nodiscard]] LpSolution solve_lp(const LpProblem& problem,
-                                  runtime::Executor* executor = nullptr);
+                                  runtime::Executor* executor = nullptr,
+                                  const LpConfig& config = {});
 
 }  // namespace pg::game

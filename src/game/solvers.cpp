@@ -30,7 +30,8 @@ std::size_t scan_chunks(std::size_t dim, runtime::Executor* executor) {
 }  // namespace
 
 Equilibrium solve_lp_equilibrium(const MatrixGame& game,
-                                 runtime::Executor* executor) {
+                                 runtime::Executor* executor,
+                                 const LpConfig& lp) {
   const std::size_t m = game.num_rows();
   const std::size_t n = game.num_cols();
 
@@ -56,17 +57,17 @@ Equilibrium solve_lp_equilibrium(const MatrixGame& game,
   // Column player's LP: maximize sum(z) s.t. B z <= 1, z >= 0 where
   // B = payoff + shift. Optimum: sum(z) = 1 / v', q = z * v'; the duals u
   // give the row strategy p = u * v'; game value = v' - shift.
-  LpProblem lp;
-  lp.a = la::Matrix(m, n);
+  LpProblem problem;
+  problem.a = la::Matrix(m, n);
   runtime::parallel_for(executor, 0, m, row_grain, [&](std::size_t i) {
     for (std::size_t j = 0; j < n; ++j) {
-      lp.a(i, j) = payoff(i, j) + shift;
+      problem.a(i, j) = payoff(i, j) + shift;
     }
   });
-  lp.b.assign(m, 1.0);
-  lp.c.assign(n, 1.0);
+  problem.b.assign(m, 1.0);
+  problem.c.assign(n, 1.0);
 
-  const LpSolution sol = solve_lp(lp, executor);
+  const LpSolution sol = solve_lp(problem, executor, lp);
   PG_ASSERT(sol.status == LpStatus::kOptimal,
             "shifted matrix game LP must be bounded");
   PG_ASSERT(sol.objective > 0.0, "shifted game value must be positive");

@@ -20,6 +20,7 @@
 
 #include <cstddef>
 
+#include "game/lp.h"
 #include "game/matrix_game.h"
 
 namespace pg::runtime {
@@ -29,9 +30,11 @@ class Executor;
 namespace pg::game {
 
 /// Exact equilibrium via one simplex solve of the shifted game.
-/// See lp.h for the reduction.
+/// See lp.h for the reduction; `lp` picks the pricing rule (Bland stays
+/// the default for the anti-cycling guarantee).
 [[nodiscard]] Equilibrium solve_lp_equilibrium(
-    const MatrixGame& game, runtime::Executor* executor = nullptr);
+    const MatrixGame& game, runtime::Executor* executor = nullptr,
+    const LpConfig& lp = {});
 
 struct IterativeConfig {
   std::size_t iterations = 10000;

@@ -1,0 +1,173 @@
+#include "runtime/payoff_disk_cache.h"
+
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "util/env.h"
+#include "util/logging.h"
+
+namespace pg::runtime {
+
+namespace {
+
+// "PGPCACH1" as a little-endian u64: magic and version in one word.
+constexpr std::uint64_t kMagic = 0x3148434143504750ULL;
+
+void put_u64(std::string& out, std::uint64_t word) {
+  for (int b = 0; b < 8; ++b) {
+    out.push_back(static_cast<char>((word >> (8 * b)) & 0xFFU));
+  }
+}
+
+std::uint64_t get_u64(const std::string& in, std::size_t offset) {
+  std::uint64_t word = 0;
+  for (int b = 0; b < 8; ++b) {
+    word |= static_cast<std::uint64_t>(
+                static_cast<unsigned char>(in[offset + b]))
+            << (8 * b);
+  }
+  return word;
+}
+
+std::uint64_t fnv1a(std::uint64_t state, std::uint64_t word) {
+  for (int b = 0; b < 8; ++b) {
+    state ^= (word >> (8 * b)) & 0xFFU;
+    state *= 0x100000001B3ULL;
+  }
+  return state;
+}
+
+std::uint64_t double_bits(double v) {
+  std::uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
+double bits_double(std::uint64_t bits) {
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+std::string hex16(std::uint64_t word) {
+  static const char* digits = "0123456789abcdef";
+  std::string s(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    s[static_cast<std::size_t>(i)] = digits[word & 0xFU];
+    word >>= 4;
+  }
+  return s;
+}
+
+}  // namespace
+
+std::string DiskPayoffCache::env_dir() {
+  return util::env_string("PG_CACHE_DIR");
+}
+
+std::string DiskPayoffCache::shard_path(std::uint64_t shard) const {
+  return (std::filesystem::path(dir_) / ("payoff-" + hex16(shard) + ".pgpc"))
+      .string();
+}
+
+std::string DiskPayoffCache::encode(
+    const std::vector<std::pair<std::uint64_t, double>>& entries) {
+  std::string out;
+  out.reserve(8 * (3 + 2 * entries.size()));
+  put_u64(out, kMagic);
+  put_u64(out, static_cast<std::uint64_t>(entries.size()));
+  std::uint64_t checksum = 0xCBF29CE484222325ULL;
+  for (const auto& [key, value] : entries) {
+    const std::uint64_t bits = double_bits(value);
+    put_u64(out, key);
+    put_u64(out, bits);
+    checksum = fnv1a(fnv1a(checksum, key), bits);
+  }
+  put_u64(out, checksum);
+  return out;
+}
+
+bool DiskPayoffCache::decode(
+    const std::string& bytes,
+    std::vector<std::pair<std::uint64_t, double>>& entries) {
+  entries.clear();
+  if (bytes.size() < 24 || bytes.size() % 8 != 0) return false;
+  if (get_u64(bytes, 0) != kMagic) return false;
+  const std::uint64_t count = get_u64(bytes, 8);
+  // Bound-check BEFORE the arithmetic below: a corrupt count near 2^61
+  // would overflow 8 * (3 + 2 * count) and could slip past the equality.
+  if (count > (bytes.size() - 24) / 16) return false;
+  if (bytes.size() != 8 * (3 + 2 * count)) return false;
+  std::uint64_t checksum = 0xCBF29CE484222325ULL;
+  entries.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const std::uint64_t key = get_u64(bytes, 16 + 16 * i);
+    const std::uint64_t bits = get_u64(bytes, 24 + 16 * i);
+    checksum = fnv1a(fnv1a(checksum, key), bits);
+    entries.emplace_back(key, bits_double(bits));
+  }
+  if (checksum != get_u64(bytes, bytes.size() - 8)) {
+    entries.clear();
+    return false;
+  }
+  return true;
+}
+
+std::size_t DiskPayoffCache::load(std::uint64_t shard,
+                                  PayoffCache& into) const {
+  if (!enabled()) return 0;
+  const std::string path = shard_path(shard);
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return 0;  // no shard yet: a cold run, not an error
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  std::vector<std::pair<std::uint64_t, double>> entries;
+  if (!decode(buf.str(), entries)) {
+    util::log_warn() << "payoff disk cache: ignoring corrupt shard " << path;
+    return 0;
+  }
+  into.preload(entries);
+  return entries.size();
+}
+
+std::size_t DiskPayoffCache::save(std::uint64_t shard,
+                                  const PayoffCache& cache) const {
+  if (!enabled()) return 0;
+  const auto entries = cache.snapshot();
+  if (entries.empty()) return 0;
+  std::error_code ec;
+  std::filesystem::create_directories(dir_, ec);
+  if (ec) {
+    util::log_warn() << "payoff disk cache: cannot create " << dir_ << ": "
+                     << ec.message();
+    return 0;
+  }
+  const std::string path = shard_path(shard);
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      util::log_warn() << "payoff disk cache: cannot write " << tmp;
+      return 0;
+    }
+    const std::string bytes = encode(entries);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    if (!out) {
+      util::log_warn() << "payoff disk cache: short write to " << tmp;
+      return 0;
+    }
+  }
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    util::log_warn() << "payoff disk cache: rename to " << path
+                     << " failed: " << ec.message();
+    std::filesystem::remove(tmp, ec);
+    return 0;
+  }
+  return entries.size();
+}
+
+}  // namespace pg::runtime

@@ -1,5 +1,7 @@
 #include "runtime/payoff_evaluator.h"
 
+#include <algorithm>
+
 #include "util/error.h"
 
 namespace pg::runtime {
@@ -33,7 +35,11 @@ std::uint64_t ContentKey::digest() const noexcept {
 bool PayoffCache::lookup(std::uint64_t key, double& value) const {
   std::lock_guard<std::mutex> lock(mutex_);
   const auto it = map_.find(key);
-  if (it == map_.end()) return false;
+  if (it == map_.end()) {
+    ++stats_.misses;
+    return false;
+  }
+  ++stats_.hits;
   value = it->second;
   return true;
 }
@@ -51,6 +57,29 @@ std::size_t PayoffCache::size() const {
 void PayoffCache::clear() {
   std::lock_guard<std::mutex> lock(mutex_);
   map_.clear();
+  stats_ = {};
+}
+
+PayoffCacheStats PayoffCache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+std::vector<std::pair<std::uint64_t, double>> PayoffCache::snapshot() const {
+  std::vector<std::pair<std::uint64_t, double>> entries;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    entries.assign(map_.begin(), map_.end());
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return entries;
+}
+
+void PayoffCache::preload(
+    const std::vector<std::pair<std::uint64_t, double>>& entries) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [key, value] : entries) map_.emplace(key, value);
 }
 
 std::vector<double> PayoffEvaluator::evaluate_cells(std::size_t count,

@@ -24,6 +24,7 @@
 #include <functional>
 #include <mutex>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "la/matrix.h"
@@ -45,10 +46,19 @@ class ContentKey {
   std::uint64_t state_ = 0xCBF29CE484222325ULL;  // FNV-1a offset basis
 };
 
+/// Cumulative lookup traffic on a PayoffCache. `hits + misses` is the
+/// total lookup count; `size()` tracks stores (including preloads).
+struct PayoffCacheStats {
+  std::size_t hits = 0;
+  std::size_t misses = 0;
+};
+
 /// Thread-safe key -> payoff store shared across evaluator calls. Callers
 /// that want memoization ACROSS entry points (e.g. a support sweep
 /// re-evaluating overlapping mixtures) create one cache and pass it to
-/// every evaluator they build.
+/// every evaluator they build. The scenario engine additionally spills a
+/// cache to disk between processes (runtime/payoff_disk_cache.h) through
+/// the snapshot/preload pair below.
 class PayoffCache {
  public:
   [[nodiscard]] bool lookup(std::uint64_t key, double& value) const;
@@ -56,9 +66,21 @@ class PayoffCache {
   [[nodiscard]] std::size_t size() const;
   void clear();
 
+  /// Lookup traffic since construction / the last clear().
+  [[nodiscard]] PayoffCacheStats stats() const;
+
+  /// All entries, sorted by key so serialized cache files are
+  /// deterministic for identical contents.
+  [[nodiscard]] std::vector<std::pair<std::uint64_t, double>> snapshot() const;
+
+  /// Bulk-insert entries (e.g. loaded from disk) without touching the
+  /// hit/miss counters. Existing keys keep their current value.
+  void preload(const std::vector<std::pair<std::uint64_t, double>>& entries);
+
  private:
   mutable std::mutex mutex_;
   std::unordered_map<std::uint64_t, double> map_;
+  mutable PayoffCacheStats stats_;
 };
 
 class PayoffEvaluator {

@@ -1,0 +1,144 @@
+#include "scenario/cli.h"
+
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "scenario/engine.h"
+#include "scenario/registry.h"
+#include "scenario/result.h"
+#include "util/error.h"
+#include "util/table.h"
+
+namespace pg::scenario {
+
+namespace {
+
+std::string flag_value(const std::vector<std::string>& args, std::size_t& i,
+                       const std::string& flag) {
+  PG_CHECK(i + 1 < args.size(), flag + " requires a value");
+  return args[++i];
+}
+
+}  // namespace
+
+CliOptions parse_cli(const std::vector<std::string>& args) {
+  CliOptions options;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    if (arg == "--help" || arg == "-h") {
+      options.help = true;
+    } else if (arg == "--list") {
+      options.list = true;
+    } else if (arg == "--print-spec") {
+      options.print_spec = true;
+    } else if (arg == "--scenario") {
+      options.scenario = flag_value(args, i, arg);
+    } else if (arg == "--spec") {
+      options.spec_file = flag_value(args, i, arg);
+    } else if (arg == "--set") {
+      const std::string kv = flag_value(args, i, arg);
+      const std::size_t eq = kv.find('=');
+      PG_CHECK(eq != std::string::npos && eq > 0,
+               "--set expects key=value, got '" + kv + "'");
+      options.overrides.emplace_back(kv.substr(0, eq), kv.substr(eq + 1));
+    } else if (arg == "--threads") {
+      options.overrides.emplace_back("threads", flag_value(args, i, arg));
+    } else if (arg == "--cache-dir") {
+      options.overrides.emplace_back("cache_dir", flag_value(args, i, arg));
+    } else if (arg == "--no-cache") {
+      options.overrides.emplace_back("use_cache", "false");
+    } else if (arg == "--out") {
+      options.out_format = flag_value(args, i, arg);
+    } else if (arg == "--out-file") {
+      options.out_file = flag_value(args, i, arg);
+    } else {
+      PG_CHECK(false, "unknown argument: " + arg + "\n" + cli_usage());
+    }
+  }
+  PG_CHECK(options.scenario.empty() || options.spec_file.empty(),
+           "--scenario and --spec are mutually exclusive");
+  PG_CHECK(options.out_format == "text" || options.out_format == "json" ||
+               options.out_format == "csv",
+           "--out expects json, csv, or text");
+  return options;
+}
+
+std::string cli_usage() {
+  return
+      "pg_run -- unified scenario driver for the poisongame reproduction\n"
+      "\n"
+      "usage:\n"
+      "  pg_run --list                      show the scenario catalog\n"
+      "  pg_run --scenario <name> [opts]    run a registered scenario\n"
+      "  pg_run --spec <file> [opts]        run a key=value spec file\n"
+      "\n"
+      "options:\n"
+      "  --set key=value   override one spec field (repeatable, last wins)\n"
+      "  --threads N       executor width (0 = all cores, 1 = serial)\n"
+      "  --cache-dir DIR   payoff disk-cache directory (default $PG_CACHE_DIR)\n"
+      "  --no-cache        disable payoff memoization entirely\n"
+      "  --out FORMAT      json | csv | text (default text)\n"
+      "  --out-file PATH   write the sink there instead of stdout\n"
+      "  --print-spec      print the resolved spec and exit\n"
+      "\n"
+      "Scenario sizes honor the historical PG_BENCH_* env knobs; --set\n"
+      "overrides take precedence over both.\n";
+}
+
+int run_cli(const CliOptions& options, std::ostream& out, std::ostream& err) {
+  try {
+    if (options.help) {
+      out << cli_usage();
+      return 0;
+    }
+    if (options.list) {
+      util::TextTable table({"scenario", "kind", "description"});
+      for (const ScenarioEntry& e : ScenarioRegistry::instance().entries()) {
+        table.add_row({e.name, e.kind, e.description});
+      }
+      out << table.str();
+      return 0;
+    }
+
+    PG_CHECK(!options.scenario.empty() || !options.spec_file.empty(),
+             "nothing to run: pass --list, --scenario, or --spec\n" +
+                 cli_usage());
+    ScenarioSpec spec;
+    if (!options.scenario.empty()) {
+      spec = ScenarioRegistry::instance().make(options.scenario);
+    } else {
+      std::ifstream in(options.spec_file);
+      PG_CHECK(static_cast<bool>(in),
+               "cannot read spec file: " + options.spec_file);
+      std::ostringstream text;
+      text << in.rdbuf();
+      spec = ScenarioSpec::parse(text.str());
+    }
+    for (const auto& [key, value] : options.overrides) {
+      spec.set(key, value);
+    }
+
+    if (options.print_spec) {
+      out << spec.to_text();
+      return 0;
+    }
+
+    const ScenarioResult result = run_scenario(spec);
+    if (!options.out_file.empty()) {
+      std::ofstream file(options.out_file);
+      PG_CHECK(static_cast<bool>(file),
+               "cannot write output file: " + options.out_file);
+      write_result(result, options.out_format, file);
+      out << "wrote " << options.out_file << "\n";
+    } else {
+      write_result(result, options.out_format, out);
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    err << "error: " << e.what() << "\n";
+    return 1;
+  }
+}
+
+}  // namespace pg::scenario

@@ -1,0 +1,39 @@
+// Argument parsing and top-level command logic for the pg_run driver.
+//
+// Split from tools/pg_run.cpp so tests can drive the full CLI surface
+// (parse errors, --set precedence, --list output, sink selection) against
+// in-memory streams without spawning a process.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace pg::scenario {
+
+struct CliOptions {
+  bool help = false;
+  bool list = false;
+  bool print_spec = false;      // resolve + print the spec, do not run
+  std::string scenario;         // --scenario <name> (registry lookup)
+  std::string spec_file;        // --spec <file> (parsed over defaults)
+  /// --set key=value overrides, applied IN ORDER after the scenario /
+  /// spec-file resolution, so later flags win (--threads, --cache-dir and
+  /// --no-cache desugar to overrides too).
+  std::vector<std::pair<std::string, std::string>> overrides;
+  std::string out_format = "text";  // --out json|csv|text
+  std::string out_file;             // --out-file <path>; empty = stdout
+};
+
+/// Parse argv (excluding argv[0]). Throws std::invalid_argument on
+/// unknown flags, missing flag values, or malformed --set syntax.
+[[nodiscard]] CliOptions parse_cli(const std::vector<std::string>& args);
+
+[[nodiscard]] std::string cli_usage();
+
+/// Execute the parsed command; human/machine output goes to `out`,
+/// errors to `err`. Returns the process exit code.
+int run_cli(const CliOptions& options, std::ostream& out, std::ostream& err);
+
+}  // namespace pg::scenario

@@ -1,0 +1,825 @@
+#include "scenario/engine.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <deque>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "attack/boundary_attack.h"
+#include "attack/label_flip.h"
+#include "attack/noise_attack.h"
+#include "core/equilibrium.h"
+#include "core/game_model.h"
+#include "core/ne_properties.h"
+#include "data/dataset.h"
+#include "defense/centroid.h"
+#include "defense/distance_filter.h"
+#include "defense/knn_filter.h"
+#include "defense/pca_filter.h"
+#include "defense/pipeline.h"
+#include "defense/roni.h"
+#include "game/best_response.h"
+#include "game/solvers.h"
+#include "la/vector_ops.h"
+#include "runtime/executor.h"
+#include "runtime/payoff_disk_cache.h"
+#include "runtime/payoff_evaluator.h"
+#include "runtime/rng_stream.h"
+#include "scenario/registry.h"
+#include "sim/curve_fit.h"
+#include "sim/experiment.h"
+#include "sim/mixed_eval.h"
+#include "sim/pure_sweep.h"
+#include "sim/support_sweep.h"
+#include "sim/transfer.h"
+#include "util/error.h"
+#include "util/rng.h"
+#include "util/stopwatch.h"
+
+namespace pg::scenario {
+
+namespace {
+
+sim::ExperimentConfig experiment_config(const ScenarioSpec& spec) {
+  sim::ExperimentConfig cfg;
+  cfg.seed = spec.seed;
+  cfg.corpus.n_instances = spec.instances;
+  cfg.corpus.class_separation = spec.class_separation;
+  cfg.svm.epochs = spec.epochs;
+  cfg.train_fraction = spec.train_fraction;
+  cfg.poison_fraction = spec.poison_fraction;
+  cfg.try_real_corpus = spec.real_corpus;
+  return cfg;
+}
+
+/// The engine's cache layers: per-context PayoffCache shards, optionally
+/// preloaded from / spilled to a DiskPayoffCache, plus the aggregated
+/// traffic counters the result reports.
+class CacheBundle {
+ public:
+  CacheBundle(bool memo, std::string dir)
+      : memo_(memo), disk_(memo ? std::move(dir) : std::string()) {}
+
+  /// The shard for one experiment context (created and disk-preloaded on
+  /// first use). Returns nullptr when memoization is off -- callers pass
+  /// the pointer straight through to the sim/ entry points.
+  runtime::PayoffCache* shard(std::uint64_t fingerprint) {
+    if (!memo_) return nullptr;
+    for (auto& [fp, cache] : shards_) {
+      if (fp == fingerprint) return &cache;
+    }
+    shards_.emplace_back();
+    shards_.back().first = fingerprint;
+    loaded_ += disk_.load(fingerprint, shards_.back().second);
+    return &shards_.back().second;
+  }
+
+  [[nodiscard]] bool memo() const noexcept { return memo_; }
+  sim::PureSweepStats& sweep_stats() noexcept { return sweep_stats_; }
+
+  /// Fold one engine-built evaluator's counters into the totals.
+  void absorb(const runtime::PayoffEvaluator& evaluator) {
+    eval_retrained_ += evaluator.cells_computed();
+    eval_hits_ += evaluator.cache_hits();
+  }
+  /// Manually-cached cells (the defense-ablation runner).
+  void add_cells(std::size_t retrained, std::size_t hits) {
+    eval_retrained_ += retrained;
+    eval_hits_ += hits;
+  }
+
+  /// Spill every shard and fill the report.
+  void finish(CacheReport& report) {
+    report.enabled = memo_;
+    report.disk_enabled = disk_.enabled();
+    report.disk_dir = disk_.dir();
+    report.shards = shards_.size();
+    report.cells_total = sweep_stats_.cells_total + eval_retrained_ + eval_hits_;
+    report.cells_retrained = sweep_stats_.cells_retrained + eval_retrained_;
+    report.cache_hits = sweep_stats_.cache_hits + eval_hits_;
+    report.disk_entries_loaded = loaded_;
+    for (auto& [fp, cache] : shards_) {
+      report.disk_entries_saved += disk_.save(fp, cache);
+    }
+  }
+
+ private:
+  bool memo_;
+  runtime::DiskPayoffCache disk_;
+  std::deque<std::pair<std::uint64_t, runtime::PayoffCache>> shards_;
+  std::size_t loaded_ = 0;
+  sim::PureSweepStats sweep_stats_;
+  std::size_t eval_retrained_ = 0;
+  std::size_t eval_hits_ = 0;
+};
+
+void add_context_metrics(const sim::ExperimentContext& ctx,
+                         ScenarioResult& result) {
+  result.add_metric("corpus_source", ctx.corpus_source);
+  result.add_metric("instances", ctx.train.size() + ctx.test.size());
+  result.add_metric("train_size", ctx.train.size());
+  result.add_metric("test_size", ctx.test.size());
+  result.add_metric("poison_budget", ctx.poison_budget);
+  result.add_metric("clean_accuracy", ctx.clean_accuracy);
+}
+
+ResultTable sweep_table(const sim::PureSweepResult& sweep) {
+  ResultTable table{"pure_sweep",
+                    {"removal_fraction", "accuracy_no_attack",
+                     "accuracy_attacked", "poison_survived_fraction"},
+                    {}};
+  for (const auto& pt : sweep.points) {
+    table.add_row({pt.removal_fraction, pt.accuracy_no_attack,
+                   pt.accuracy_attacked, pt.poison_survived_fraction});
+  }
+  return table;
+}
+
+// ------------------------------------------------------------- pure_sweep
+// Legacy bench_fig1: the Fig.-1 sweep plus fitted payoff curves.
+void run_pure_sweep_scenario(const ScenarioSpec& spec, runtime::Executor* exec,
+                             CacheBundle& bundle, ScenarioResult& result) {
+  const sim::ExperimentContext ctx =
+      sim::prepare_experiment(experiment_config(spec));
+  add_context_metrics(ctx, result);
+
+  const auto grid = sim::sweep_grid(spec.sweep_max, spec.sweep_steps);
+  const auto sweep = sim::run_pure_sweep(
+      ctx, grid, spec.replications, exec,
+      bundle.shard(sim::context_fingerprint(ctx)), &bundle.sweep_stats());
+  result.tables.push_back(sweep_table(sweep));
+
+  const auto best = sim::best_pure_defense(sweep);
+  const double majority = std::max(ctx.test.positive_fraction(),
+                                   1.0 - ctx.test.positive_fraction());
+  result.add_metric("majority_floor", majority);
+  result.add_metric("attacked_accuracy_no_filter",
+                    sweep.points.front().accuracy_attacked);
+  result.add_metric("best_pure_fraction", best.best_fraction);
+  result.add_metric("best_pure_accuracy", best.best_accuracy);
+
+  const auto curves = sim::fit_payoff_curves(sweep);
+  ResultTable fitted{"payoff_curves", {"p", "damage_E", "cost_Gamma"}, {}};
+  for (const auto& pt : sweep.points) {
+    fitted.add_row({pt.removal_fraction, curves.damage(pt.removal_fraction),
+                    curves.cost(pt.removal_fraction)});
+  }
+  result.tables.push_back(std::move(fitted));
+}
+
+// ------------------------------------------------------------ mixed_table
+// Legacy bench_table1: Algorithm 1 at n in [support_min, support_max],
+// empirical mixed evaluation, and the mixed-vs-pure comparison claim.
+void run_mixed_table_scenario(const ScenarioSpec& spec, runtime::Executor* exec,
+                              CacheBundle& bundle, ScenarioResult& result) {
+  PG_CHECK(spec.support_min >= 1 && spec.support_min <= spec.support_max,
+           "mixed_table requires 1 <= support_min <= support_max");
+  const sim::ExperimentContext ctx =
+      sim::prepare_experiment(experiment_config(spec));
+  add_context_metrics(ctx, result);
+
+  runtime::PayoffCache* cache = bundle.shard(sim::context_fingerprint(ctx));
+  const runtime::PayoffEvaluator evaluator(runtime::executor_or_serial(exec),
+                                           cache);
+
+  const auto grid = sim::sweep_grid(spec.sweep_max, spec.sweep_steps);
+  const auto sweep = sim::run_pure_sweep(ctx, grid, spec.replications, exec,
+                                         cache, &bundle.sweep_stats());
+  const auto curves = sim::fit_payoff_curves(sweep);
+  const core::PoisoningGame game(curves, ctx.poison_budget);
+  const auto pure = sim::best_pure_defense(sweep);
+
+  ResultTable strategies{"mixed_strategies",
+                         {"n", "removal_fraction", "probability"},
+                         {}};
+  ResultTable summary{"summary",
+                      {"n", "predicted_loss", "converged", "iterations",
+                       "properly_mixed", "indifference_spread",
+                       "adversarial_accuracy", "no_attack_accuracy"},
+                      {}};
+  std::optional<core::DefenseSolution> last_solution;
+  for (std::size_t n = spec.support_min; n <= spec.support_max; ++n) {
+    core::Algorithm1Config acfg;
+    acfg.support_size = n;
+    const auto sol = core::compute_optimal_defense(game, acfg, exec);
+    const auto indiff = core::check_indifference(game, sol.strategy, 1e-3);
+
+    sim::MixedEvalConfig ecfg;
+    ecfg.draws = spec.draws;
+    const auto eval =
+        sim::evaluate_mixed_defense(ctx, sol.strategy, ecfg, evaluator);
+
+    for (std::size_t i = 0; i < sol.strategy.support_size(); ++i) {
+      strategies.add_row({n, sol.strategy.removal_fractions()[i],
+                          sol.strategy.probabilities()[i]});
+    }
+    summary.add_row({n, sol.defender_loss,
+                     static_cast<std::size_t>(sol.converged ? 1 : 0),
+                     sol.iterations,
+                     static_cast<std::size_t>(indiff.properly_mixed ? 1 : 0),
+                     indiff.relative_spread, eval.adversarial_accuracy,
+                     eval.no_attack_accuracy});
+    last_solution = sol;
+  }
+  result.tables.push_back(std::move(strategies));
+  result.tables.push_back(std::move(summary));
+
+  // The paper's comparison claim: the (largest-n) mixed strategy's
+  // predicted loss vs the best pure strategy's.
+  double best_pure_predicted = 1e300;
+  double best_theta = 0.0;
+  for (double theta = 0.0; theta <= spec.sweep_max; theta += 0.0025) {
+    const double loss =
+        static_cast<double>(ctx.poison_budget) * curves.damage(theta) +
+        curves.cost(theta);
+    if (loss < best_pure_predicted) {
+      best_pure_predicted = loss;
+      best_theta = theta;
+    }
+  }
+  result.add_metric("best_pure_theta", best_theta);
+  result.add_metric("best_pure_predicted_loss", best_pure_predicted);
+  result.add_metric("best_pure_measured_accuracy", pure.best_accuracy);
+  result.add_metric("mixed_strategy", last_solution->strategy.describe());
+  result.add_metric("mixed_predicted_loss", last_solution->defender_loss);
+  result.add_metric(
+      "mixed_beats_pure",
+      static_cast<std::size_t>(
+          last_solution->defender_loss < best_pure_predicted ? 1 : 0));
+
+  bundle.absorb(evaluator);
+}
+
+// --------------------------------------------------------------- pure_ne
+// Legacy bench_prop1: duality gap / saddle scan / best-response cycling
+// on measured and analytic curve families, plus a control game.
+void run_pure_ne_scenario(const ScenarioSpec& spec, runtime::Executor* exec,
+                          CacheBundle& bundle, ScenarioResult& result) {
+  ResultTable games{"games",
+                    {"game", "maximin", "minimax", "gap", "saddle_points",
+                     "br_moves", "br_steps"},
+                    {}};
+  const auto report = [&games](const std::string& name,
+                               const core::PoisoningGame& game) {
+    const auto rep = core::analyze_pure_equilibria(game, 96);
+    const auto dynamics = core::best_response_dynamics(game, 0.05, 24);
+    std::size_t moves = 0;
+    for (std::size_t i = 1; i < dynamics.size(); ++i) {
+      if (std::abs(dynamics[i].defender_theta -
+                   dynamics[i - 1].defender_theta) > 1e-9) {
+        ++moves;
+      }
+    }
+    games.add_row({name, rep.maximin, rep.minimax, rep.gap, rep.saddle_points,
+                   moves, dynamics.size() - 1});
+  };
+
+  const sim::ExperimentContext ctx =
+      sim::prepare_experiment(experiment_config(spec));
+  add_context_metrics(ctx, result);
+  const auto sweep = sim::run_pure_sweep(
+      ctx, sim::sweep_grid(spec.sweep_max, spec.sweep_steps),
+      spec.replications, exec, bundle.shard(sim::context_fingerprint(ctx)),
+      &bundle.sweep_stats());
+  report("measured (Spambase-like sweep)",
+         core::PoisoningGame(sim::fit_payoff_curves(sweep),
+                             ctx.poison_budget));
+
+  report("analytic E=(1-p)^5, G=p^1.4",
+         core::PoisoningGame(
+             core::PayoffCurves::analytic(0.002, 5.0, 0.06, 1.4), 100));
+  report("analytic E=(1-p)^3, G=p^1.0",
+         core::PoisoningGame(
+             core::PayoffCurves::analytic(0.001, 3.0, 0.02, 1.0), 100));
+  report("analytic E=(1-p)^8, G=p^2.0",
+         core::PoisoningGame(
+             core::PayoffCurves::analytic(0.005, 8.0, 0.10, 2.0), 100));
+  result.tables.push_back(std::move(games));
+
+  // Control: constant damage, zero cost -- a game WITH saddle points.
+  const core::PayoffCurves flat(
+      util::PiecewiseLinear({0.0, 1.0}, {0.001, 0.001}),
+      util::PiecewiseLinear({0.0, 1.0}, {0.0, 0.0}));
+  const auto control =
+      core::analyze_pure_equilibria(core::PoisoningGame(flat, 100), 96);
+  result.add_metric("control_gap", control.gap);
+  result.add_metric("control_saddle_points", control.saddle_points);
+}
+
+// ---------------------------------------------------------- support_sweep
+// Legacy bench_nsweep: the section-5 plateau claim.
+void run_support_sweep_scenario(const ScenarioSpec& spec,
+                                runtime::Executor* exec, CacheBundle& bundle,
+                                ScenarioResult& result) {
+  const sim::ExperimentContext ctx =
+      sim::prepare_experiment(experiment_config(spec));
+  add_context_metrics(ctx, result);
+
+  runtime::PayoffCache* cache = bundle.shard(sim::context_fingerprint(ctx));
+  const runtime::PayoffEvaluator evaluator(runtime::executor_or_serial(exec),
+                                           cache);
+
+  const auto sweep = sim::run_pure_sweep(
+      ctx, sim::sweep_grid(spec.sweep_max, spec.sweep_steps),
+      spec.replications, exec, cache, &bundle.sweep_stats());
+  const auto curves = sim::fit_payoff_curves(sweep);
+  const core::PoisoningGame game(curves, ctx.poison_budget);
+
+  sim::MixedEvalConfig ecfg;
+  ecfg.draws = spec.draws;
+  const auto rows = sim::run_support_sweep(ctx, game, spec.support_max, {},
+                                           ecfg, exec, &evaluator);
+
+  ResultTable table{"support_sweep",
+                    {"n", "strategy", "predicted_loss",
+                     "adversarial_accuracy", "solve_ms", "solver_iterations"},
+                    {}};
+  for (const auto& row : rows) {
+    table.add_row({row.support_size, row.strategy.describe(),
+                   row.predicted_loss, row.adversarial_accuracy,
+                   row.solve_seconds * 1e3, row.solve_iterations});
+  }
+  result.tables.push_back(std::move(table));
+
+  if (rows.size() >= 5) {
+    const double drop_2_to_3 = rows[1].predicted_loss - rows[2].predicted_loss;
+    const double drop_3_to_5 = rows[2].predicted_loss - rows[4].predicted_loss;
+    result.add_metric("loss_drop_2_to_3", drop_2_to_3);
+    result.add_metric("loss_drop_3_to_5", drop_3_to_5);
+    result.add_metric(
+        "plateau_after_3",
+        static_cast<std::size_t>(drop_3_to_5 <= drop_2_to_3 + 1e-9 ? 1 : 0));
+  }
+  bundle.absorb(evaluator);
+}
+
+// ---------------------------------------------------------------- transfer
+// Legacy bench_transfer: source-solved strategy transplanted onto three
+// perturbed target corpora vs the natively-solved strategy.
+void run_transfer_scenario(const ScenarioSpec& spec, runtime::Executor* exec,
+                           CacheBundle& bundle, ScenarioResult& result) {
+  const sim::ExperimentConfig base = experiment_config(spec);
+  const auto source = sim::prepare_experiment(base);
+  add_context_metrics(source, result);
+
+  struct Target {
+    std::string name;
+    sim::ExperimentConfig cfg;
+  };
+  std::vector<Target> targets;
+  {
+    Target t{"same generator, different seed", base};
+    t.cfg.seed = base.seed + 1000;
+    targets.push_back(t);
+  }
+  {
+    Target t{"weaker class separation (0.8x)", base};
+    t.cfg.seed = base.seed + 2000;
+    t.cfg.corpus.class_separation = 0.8;
+    targets.push_back(t);
+  }
+  {
+    Target t{"smaller corpus (60%)", base};
+    t.cfg.seed = base.seed + 3000;
+    t.cfg.corpus.n_instances = base.corpus.n_instances * 3 / 5;
+    targets.push_back(t);
+  }
+
+  sim::TransferConfig tcfg;
+  tcfg.eval.draws = spec.draws;
+  tcfg.sweep_replications = spec.replications;
+  tcfg.support_size = spec.support_max;
+
+  runtime::PayoffCache* source_cache =
+      bundle.shard(sim::context_fingerprint(source));
+  ResultTable table{"targets",
+                    {"target", "transferred_accuracy", "native_accuracy",
+                     "transfer_gap"},
+                    {}};
+  for (const auto& target : targets) {
+    const auto ctx = sim::prepare_experiment(target.cfg);
+    runtime::PayoffCache* target_cache =
+        bundle.shard(sim::context_fingerprint(ctx));
+    const runtime::PayoffEvaluator evaluator(runtime::executor_or_serial(exec),
+                                             target_cache);
+    const auto res = sim::run_transfer_experiment(
+        source, ctx, tcfg, exec, &evaluator, source_cache, target_cache,
+        &bundle.sweep_stats());
+    table.add_row(
+        {target.name, res.transferred_accuracy, res.native_accuracy,
+         res.transfer_gap});
+    bundle.absorb(evaluator);
+  }
+  result.tables.push_back(std::move(table));
+}
+
+// --------------------------------------------------------- solver_ablation
+// Legacy bench_solver_ablation: four routes to the mixed NE on analytic
+// and measured curves.
+void run_solver_ablation_scenario(const ScenarioSpec& spec,
+                                  runtime::Executor* exec, CacheBundle& bundle,
+                                  ScenarioResult& result) {
+  const game::LpConfig lp{game::parse_lp_pricing(spec.lp_pricing)};
+  const auto ablate = [&](const std::string& name,
+                          const core::PoisoningGame& game_model) {
+    ResultTable table{name,
+                      {"solver", "value", "exploitability", "time_ms"},
+                      {}};
+    {
+      util::Stopwatch w;
+      core::Algorithm1Config cfg;
+      cfg.support_size = 5;
+      const auto sol = core::compute_optimal_defense(game_model, cfg, exec);
+      const auto ex =
+          core::attacker_exploitability(game_model, sol.strategy, 4096);
+      table.add_row({"algorithm1_n5", sol.defender_loss, ex.gain,
+                     w.elapsed_ms()});
+    }
+    const auto mg =
+        game_model.discretize(spec.solver_grid, spec.solver_grid, exec);
+    {
+      util::Stopwatch w;
+      const auto eq = game::solve_lp_equilibrium(mg, exec, lp);
+      table.add_row({std::string("simplex_lp_") + spec.lp_pricing, eq.value,
+                     game::exploitability(mg, eq.row_strategy, eq.col_strategy),
+                     w.elapsed_ms()});
+    }
+    {
+      util::Stopwatch w;
+      const auto eq = game::solve_fictitious_play(
+          mg, {.iterations = spec.solver_iterations}, exec);
+      table.add_row({"fictitious_play", eq.value,
+                     game::exploitability(mg, eq.row_strategy, eq.col_strategy),
+                     w.elapsed_ms()});
+    }
+    {
+      util::Stopwatch w;
+      const auto eq = game::solve_multiplicative_weights(
+          mg, {.iterations = spec.solver_iterations}, exec);
+      table.add_row({"multiplicative_weights", eq.value,
+                     game::exploitability(mg, eq.row_strategy, eq.col_strategy),
+                     w.elapsed_ms()});
+    }
+    result.tables.push_back(std::move(table));
+  };
+
+  ablate("analytic_curves",
+         core::PoisoningGame(
+             core::PayoffCurves::analytic(0.002, 5.0, 0.06, 1.4), 100));
+
+  const sim::ExperimentContext ctx =
+      sim::prepare_experiment(experiment_config(spec));
+  add_context_metrics(ctx, result);
+  const auto sweep = sim::run_pure_sweep(
+      ctx, sim::sweep_grid(spec.sweep_max, spec.sweep_steps),
+      spec.replications, exec, bundle.shard(sim::context_fingerprint(ctx)),
+      &bundle.sweep_stats());
+  ablate("measured_curves",
+         core::PoisoningGame(sim::fit_payoff_curves(sweep),
+                             ctx.poison_budget));
+}
+
+// -------------------------------------------------------- defense_ablation
+// Legacy bench_defense_ablation: centroid drift under attack plus the
+// sanitizer-family comparison across attack families.
+void run_defense_ablation_scenario(const ScenarioSpec& spec,
+                                   runtime::Executor* exec,
+                                   CacheBundle& bundle,
+                                   ScenarioResult& result) {
+  (void)exec;  // the pipeline runs are sequential, matching the legacy bench
+  const sim::ExperimentConfig cfg = experiment_config(spec);
+  const sim::ExperimentContext ctx = sim::prepare_experiment(cfg);
+  add_context_metrics(ctx, result);
+
+  // ---- (1) centroid estimator drift under a 20% boundary attack -------
+  attack::BoundaryAttackConfig acfg;
+  acfg.placement_fraction = 0.05;
+  const attack::BoundaryAttack drift_attack(acfg);
+  util::Rng arng(cfg.seed);
+  const auto poison = drift_attack.generate(ctx.train, ctx.poison_budget, arng);
+  const auto poisoned = data::concatenate(ctx.train, poison);
+
+  ResultTable drift{"centroid_drift",
+                    {"estimator", "drift_class_pos", "drift_class_neg"},
+                    {}};
+  for (auto method : {defense::CentroidMethod::kMean,
+                      defense::CentroidMethod::kCoordinateMedian,
+                      defense::CentroidMethod::kTrimmedMean}) {
+    defense::CentroidConfig cc;
+    cc.method = method;
+    std::vector<Value> row{defense::centroid_method_name(method)};
+    for (int label : {1, -1}) {
+      const auto clean_c = defense::compute_centroid(ctx.train, label, cc);
+      const auto pois_c = defense::compute_centroid(poisoned, label, cc);
+      row.emplace_back(la::distance(clean_c, pois_c));
+    }
+    drift.add_row(std::move(row));
+  }
+  result.tables.push_back(std::move(drift));
+
+  // ---- (2) defense family comparison ---------------------------------
+  std::vector<std::unique_ptr<attack::PoisoningAttack>> attacks;
+  for (const std::string& name : split_list(spec.attacks)) {
+    if (name == "boundary") {
+      attacks.push_back(std::make_unique<attack::BoundaryAttack>(
+          attack::BoundaryAttackConfig{.placement_fraction = 0.10}));
+    } else if (name == "label_flip") {
+      attacks.push_back(std::make_unique<attack::LabelFlipAttack>(
+          attack::LabelFlipConfig{attack::FlipSelection::kNearCentroid}));
+    } else if (name == "noise") {
+      attacks.push_back(std::make_unique<attack::NoiseAttack>());
+    } else {
+      PG_CHECK(false, "unknown attack family: " + name);
+    }
+  }
+  std::vector<std::unique_ptr<defense::Filter>> filters;
+  for (const std::string& name : split_list(spec.defenses)) {
+    if (name == "distance") {
+      filters.push_back(std::make_unique<defense::DistanceFilter>(
+          defense::DistanceFilterConfig{.removal_fraction = 0.15}));
+    } else if (name == "knn") {
+      filters.push_back(std::make_unique<defense::KnnFilter>(
+          defense::KnnFilterConfig{.k = 10, .agreement_threshold = 0.5}));
+    } else if (name == "pca") {
+      filters.push_back(std::make_unique<defense::PcaFilter>(
+          defense::PcaFilterConfig{.components = 5, .removal_fraction = 0.15}));
+    } else if (name == "roni") {
+      filters.push_back(
+          std::make_unique<defense::RoniFilter>(defense::RoniConfig{}));
+    } else {
+      PG_CHECK(false, "unknown defense family: " + name);
+    }
+  }
+
+  // Each (attack, defense) pipeline run memoizes its three measurements
+  // under a content key covering the context plus both family names and
+  // the RNG salt; like every payoff cell, a hit replays exactly what the
+  // run would recompute.
+  const std::uint64_t fingerprint = sim::context_fingerprint(ctx);
+  runtime::PayoffCache* cache = bundle.shard(fingerprint);
+  std::size_t retrained = 0;
+  std::size_t hits = 0;
+  const defense::Pipeline pipeline({cfg.svm});
+  util::Rng rng(cfg.seed + 1);
+  constexpr std::uint64_t kAblationTag = 0x4445464142'4C0001ULL;
+
+  const auto run_cell = [&](const attack::PoisoningAttack* atk,
+                            const defense::Filter* filter,
+                            const std::string& defense_name,
+                            std::uint64_t salt) -> std::array<double, 3> {
+    runtime::ContentKey base;
+    base.mix(kAblationTag).mix(fingerprint).mix(salt);
+    for (const char c : atk->name()) {
+      base.mix(static_cast<std::uint64_t>(static_cast<unsigned char>(c)));
+    }
+    for (const char c : defense_name) {
+      base.mix(static_cast<std::uint64_t>(static_cast<unsigned char>(c)));
+    }
+    const auto subkey = [&base](std::uint64_t arm) {
+      runtime::ContentKey k = base;
+      return k.mix(arm).digest();
+    };
+    std::array<double, 3> out{};
+    if (cache != nullptr && cache->lookup(subkey(0), out[0]) &&
+        cache->lookup(subkey(1), out[1]) && cache->lookup(subkey(2), out[2])) {
+      ++hits;
+      return out;
+    }
+    util::Rng r = rng.fork(salt);
+    const auto res = pipeline.run(ctx.train, ctx.test, atk, ctx.poison_budget,
+                                  filter, r);
+    out = {res.test_accuracy, res.detection.precision, res.detection.recall};
+    ++retrained;
+    if (cache != nullptr) {
+      cache->store(subkey(0), out[0]);
+      cache->store(subkey(1), out[1]);
+      cache->store(subkey(2), out[2]);
+    }
+    return out;
+  };
+
+  ResultTable comparison{"defense_comparison",
+                         {"attack", "defense", "accuracy",
+                          "detection_precision", "detection_recall"},
+                         {}};
+  for (const auto& atk : attacks) {
+    {
+      const auto cell = run_cell(atk.get(), nullptr, "(none)", 1);
+      comparison.add_row({atk->name(), "(none)", cell[0], "-", "-"});
+    }
+    std::uint64_t salt = 2;
+    for (const auto& f : filters) {
+      const auto cell = run_cell(atk.get(), f.get(), f->name(), salt++);
+      comparison.add_row({atk->name(), f->name(), cell[0], cell[1], cell[2]});
+    }
+  }
+  result.tables.push_back(std::move(comparison));
+  bundle.add_cells(retrained, hits);
+}
+
+// --------------------------------------------------------- solver_parallel
+// Legacy bench_solver_parallel: serial vs executor-parallel solves with
+// the bit-identity assertion.
+game::MatrixGame random_game(std::size_t m, std::size_t n,
+                             std::uint64_t seed) {
+  util::Rng rng(seed);
+  la::Matrix a(m, n);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      a(i, j) = rng.uniform(-5.0, 5.0);
+    }
+  }
+  return game::MatrixGame(std::move(a));
+}
+
+void check_identical(const game::Equilibrium& serial,
+                     const game::Equilibrium& parallel) {
+  PG_ASSERT(serial.value == parallel.value,
+            "parallel solver broke bit-identity (value)");
+  PG_ASSERT(serial.row_strategy == parallel.row_strategy,
+            "parallel solver broke bit-identity (row strategy)");
+  PG_ASSERT(serial.col_strategy == parallel.col_strategy,
+            "parallel solver broke bit-identity (col strategy)");
+}
+
+void run_solver_parallel_scenario(const ScenarioSpec& spec,
+                                  runtime::Executor* exec,
+                                  CacheBundle& bundle,
+                                  ScenarioResult& result) {
+  (void)bundle;
+  PG_CHECK(spec.timing_reps >= 1, "timing_reps must be >= 1");
+  ResultTable table{"speedups",
+                    {"solver", "rows", "cols", "serial_ms", "parallel_ms",
+                     "speedup_vs_serial"},
+                    {}};
+
+  const auto time_solver = [&](const std::string& name, std::size_t size,
+                               const game::MatrixGame& g, const auto& solve) {
+    game::Equilibrium serial_eq;
+    double serial_best = 1e300;
+    for (std::size_t r = 0; r < spec.timing_reps; ++r) {
+      util::Stopwatch w;
+      serial_eq = solve(g, static_cast<runtime::Executor*>(nullptr));
+      serial_best = std::min(serial_best, w.elapsed_ms());
+    }
+    game::Equilibrium parallel_eq;
+    double parallel_best = 1e300;
+    for (std::size_t r = 0; r < spec.timing_reps; ++r) {
+      util::Stopwatch w;
+      parallel_eq = solve(g, exec);
+      parallel_best = std::min(parallel_best, w.elapsed_ms());
+    }
+    check_identical(serial_eq, parallel_eq);
+    table.add_row({name, size, size, serial_best, parallel_best,
+                   serial_best / parallel_best});
+  };
+
+  const game::LpConfig lp{game::parse_lp_pricing(spec.lp_pricing)};
+  for (const std::size_t size : parse_size_list(spec.lp_sizes)) {
+    const auto g = random_game(size, size, 1000 + size);
+    time_solver("simplex_lp", size, g,
+                [&lp](const game::MatrixGame& mg, runtime::Executor* e) {
+                  return game::solve_lp_equilibrium(mg, e, lp);
+                });
+  }
+  const game::IterativeConfig fp_cfg{.iterations = 3000};
+  for (const std::size_t size : parse_size_list(spec.fp_sizes)) {
+    const auto g = random_game(size, size, 2000 + size);
+    time_solver("fictitious_play", size, g,
+                [&fp_cfg](const game::MatrixGame& mg, runtime::Executor* e) {
+                  return game::solve_fictitious_play(mg, fp_cfg, e);
+                });
+  }
+  result.tables.push_back(std::move(table));
+  result.add_metric("bit_identical_to_serial", std::size_t{1});
+}
+
+// ------------------------------------------------------------------ micro
+// Engine-native micro kernels (the subset of bench_micro that does not
+// need the google-benchmark harness): grid fill and solver speedups.
+void run_micro_scenario(const ScenarioSpec& spec, runtime::Executor* exec,
+                        CacheBundle& bundle, ScenarioResult& result) {
+  (void)bundle;
+  PG_CHECK(spec.timing_reps >= 1, "timing_reps must be >= 1");
+  ResultTable table{"kernels",
+                    {"kernel", "serial_ms", "parallel_ms",
+                     "speedup_vs_serial"},
+                    {}};
+
+  const auto timed = [&](const auto& fn) {
+    double best = 1e300;
+    for (std::size_t r = 0; r < spec.timing_reps; ++r) {
+      util::Stopwatch w;
+      fn();
+      best = std::min(best, w.elapsed_ms());
+    }
+    return best;
+  };
+
+  {
+    const core::PoisoningGame game(
+        core::PayoffCurves::analytic(0.002, 5.0, 0.06, 1.4), 100);
+    la::Matrix serial_grid;
+    la::Matrix parallel_grid;
+    const double serial_ms = timed(
+        [&] { serial_grid = game.discretize(256, 256, nullptr).payoff(); });
+    const double parallel_ms =
+        timed([&] { parallel_grid = game.discretize(256, 256, exec).payoff(); });
+    PG_ASSERT(serial_grid.data() == parallel_grid.data(),
+              "parallel payoff grid broke bit-identity");
+    table.add_row({"discretize_256", serial_ms, parallel_ms,
+                   serial_ms / parallel_ms});
+  }
+  {
+    const game::LpConfig lp{game::parse_lp_pricing(spec.lp_pricing)};
+    const auto g = random_game(192, 192, 1192);
+    game::Equilibrium serial_eq;
+    game::Equilibrium parallel_eq;
+    const double serial_ms =
+        timed([&] { serial_eq = game::solve_lp_equilibrium(g, nullptr, lp); });
+    const double parallel_ms =
+        timed([&] { parallel_eq = game::solve_lp_equilibrium(g, exec, lp); });
+    check_identical(serial_eq, parallel_eq);
+    table.add_row({"solve_lp_192", serial_ms, parallel_ms,
+                   serial_ms / parallel_ms});
+  }
+  {
+    const auto g = random_game(512, 512, 2512);
+    const game::IterativeConfig cfg{.iterations = 2000};
+    game::Equilibrium serial_eq;
+    game::Equilibrium parallel_eq;
+    const double serial_ms = timed(
+        [&] { serial_eq = game::solve_fictitious_play(g, cfg, nullptr); });
+    const double parallel_ms =
+        timed([&] { parallel_eq = game::solve_fictitious_play(g, cfg, exec); });
+    check_identical(serial_eq, parallel_eq);
+    table.add_row({"fictitious_play_512", serial_ms, parallel_ms,
+                   serial_ms / parallel_ms});
+  }
+  result.tables.push_back(std::move(table));
+}
+
+using RunnerFn = void (*)(const ScenarioSpec&, runtime::Executor*,
+                          CacheBundle&, ScenarioResult&);
+
+RunnerFn runner_for(const std::string& kind) {
+  if (kind == "pure_sweep") return &run_pure_sweep_scenario;
+  if (kind == "mixed_table") return &run_mixed_table_scenario;
+  if (kind == "pure_ne") return &run_pure_ne_scenario;
+  if (kind == "support_sweep") return &run_support_sweep_scenario;
+  if (kind == "transfer") return &run_transfer_scenario;
+  if (kind == "solver_ablation") return &run_solver_ablation_scenario;
+  if (kind == "defense_ablation") return &run_defense_ablation_scenario;
+  if (kind == "solver_parallel") return &run_solver_parallel_scenario;
+  if (kind == "micro") return &run_micro_scenario;
+  PG_CHECK(false, "unknown scenario kind: " + kind);
+  return nullptr;  // unreachable
+}
+
+}  // namespace
+
+ScenarioResult run_scenario(const ScenarioSpec& spec) {
+  RunnerFn runner = runner_for(spec.kind);  // validates before any work
+  util::Stopwatch watch;
+
+  const auto exec = sim::make_executor(spec.threads);
+  const std::string cache_dir = !spec.cache_dir.empty()
+                                    ? spec.cache_dir
+                                    : runtime::DiskPayoffCache::env_dir();
+  CacheBundle bundle(spec.use_cache, cache_dir);
+
+  ScenarioResult result;
+  result.spec = spec;
+  result.executor_threads = exec->concurrency();
+  runner(spec, exec.get(), bundle, result);
+  bundle.finish(result.cache);
+  result.elapsed_seconds = watch.elapsed_seconds();
+  return result;
+}
+
+int run_legacy_bench(const std::string& name, const std::string& json_out) {
+  try {
+    const ScenarioSpec spec = ScenarioRegistry::instance().make(name);
+    const ScenarioResult result = run_scenario(spec);
+    write_text(result, std::cout);
+    if (!json_out.empty()) {
+      std::ofstream out(json_out);
+      PG_CHECK(static_cast<bool>(out), "cannot write " + json_out);
+      write_json(result, out);
+      std::cout << "wrote " << json_out << "\n";
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}
+
+}  // namespace pg::scenario

@@ -1,0 +1,39 @@
+// The scenario engine: one loop that executes any ScenarioSpec.
+//
+// run_scenario resolves the spec's execution envelope (executor width,
+// cache layers), dispatches on `spec.kind` to the matching runner, and
+// returns a structured ScenarioResult. Each runner drives the same sim/
+// and core/ entry points the legacy bench binaries called with the same
+// parameters and seeds, so at a fixed seed the numbers are bit-identical
+// to the pre-refactor benches -- and bit-identical at 1 vs N threads,
+// inherited from the runtime's determinism contract.
+//
+// Caching: when `spec.use_cache` is on, every experiment context gets a
+// PayoffCache shard keyed by its context fingerprint; retrain-priced
+// cells (sweep cells, mixed-eval cells, ablation pipeline runs) memoize
+// into the shard, and when a cache directory is configured (spec field or
+// $PG_CACHE_DIR) each shard is preloaded from and spilled back to disk,
+// so a re-run -- or a tweaked sweep overlapping the old grid -- reuses
+// prior retrains across processes. The resulting traffic is reported in
+// ScenarioResult::cache; a warm re-run shows cells_retrained == 0.
+#pragma once
+
+#include <string>
+
+#include "scenario/result.h"
+#include "scenario/spec.h"
+
+namespace pg::scenario {
+
+/// Execute the spec. Throws std::invalid_argument on an unknown kind or
+/// out-of-range knobs (the validation the per-bench mains used to spread
+/// across eight copies of main()).
+[[nodiscard]] ScenarioResult run_scenario(const ScenarioSpec& spec);
+
+/// The thin-wrapper entry point the legacy bench_* binaries delegate to:
+/// build the registered spec (env-aware), run it, print the text sink to
+/// stdout, optionally also write the JSON sink to `json_out`. Returns a
+/// process exit code (errors print to stderr).
+int run_legacy_bench(const std::string& name, const std::string& json_out = "");
+
+}  // namespace pg::scenario

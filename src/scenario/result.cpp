@@ -1,0 +1,216 @@
+#include "scenario/result.h"
+
+#include <cmath>
+#include <cstdlib>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "util/error.h"
+#include "util/table.h"
+
+namespace pg::scenario {
+
+namespace {
+
+/// util::format_double_roundtrip (shortest lossless decimal) extended
+/// with the non-finite spellings the sinks need.
+std::string format_number(double v) {
+  if (std::isnan(v)) return "nan";
+  if (std::isinf(v)) return v > 0 ? "inf" : "-inf";
+  return util::format_double_roundtrip(v);
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          std::ostringstream os;
+          os << "\\u" << std::hex << std::setw(4) << std::setfill('0')
+             << static_cast<int>(static_cast<unsigned char>(c));
+          out += os.str();
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+void write_json_value(const Value& v, std::ostream& out) {
+  if (v.is_number()) {
+    // JSON has no nan/inf literal; null is the conventional stand-in.
+    if (std::isnan(v.number()) || std::isinf(v.number())) {
+      out << "null";
+    } else {
+      out << format_number(v.number());
+    }
+  } else {
+    out << '"' << json_escape(v.text()) << '"';
+  }
+}
+
+std::string csv_escape(const std::string& s) {
+  if (s.find_first_of(",\"\n") == std::string::npos) return s;
+  std::string out = "\"";
+  for (const char c : s) {
+    if (c == '"') out += "\"\"";
+    else out.push_back(c);
+  }
+  out += "\"";
+  return out;
+}
+
+}  // namespace
+
+std::string Value::render() const {
+  return is_number_ ? format_number(number_) : text_;
+}
+
+void ResultTable::add_row(std::vector<Value> row) {
+  PG_CHECK(row.size() == columns.size(),
+           "ResultTable " + name + ": row width mismatch");
+  rows.push_back(std::move(row));
+}
+
+void write_json(const ScenarioResult& result, std::ostream& out) {
+  out << "{\n";
+  out << "  \"scenario\": \"" << json_escape(result.spec.name) << "\",\n";
+  out << "  \"kind\": \"" << json_escape(result.spec.kind) << "\",\n";
+  out << "  \"description\": \"" << json_escape(result.spec.description)
+      << "\",\n";
+  out << "  \"threads\": " << result.executor_threads << ",\n";
+  out << "  \"elapsed_seconds\": " << format_number(result.elapsed_seconds)
+      << ",\n";
+  out << "  \"cache\": {\"enabled\": "
+      << (result.cache.enabled ? "true" : "false")
+      << ", \"disk_enabled\": " << (result.cache.disk_enabled ? "true" : "false")
+      << ", \"disk_dir\": \"" << json_escape(result.cache.disk_dir) << "\""
+      << ", \"shards\": " << result.cache.shards
+      << ", \"cells_total\": " << result.cache.cells_total
+      << ", \"cells_retrained\": " << result.cache.cells_retrained
+      << ", \"cache_hits\": " << result.cache.cache_hits
+      << ", \"disk_entries_loaded\": " << result.cache.disk_entries_loaded
+      << ", \"disk_entries_saved\": " << result.cache.disk_entries_saved
+      << "},\n";
+  out << "  \"metrics\": {";
+  for (std::size_t i = 0; i < result.metrics.size(); ++i) {
+    if (i > 0) out << ", ";
+    out << '"' << json_escape(result.metrics[i].first) << "\": ";
+    write_json_value(result.metrics[i].second, out);
+  }
+  out << "},\n";
+  out << "  \"tables\": [";
+  for (std::size_t t = 0; t < result.tables.size(); ++t) {
+    const ResultTable& table = result.tables[t];
+    if (t > 0) out << ",";
+    out << "\n    {\"name\": \"" << json_escape(table.name)
+        << "\", \"columns\": [";
+    for (std::size_t c = 0; c < table.columns.size(); ++c) {
+      if (c > 0) out << ", ";
+      out << '"' << json_escape(table.columns[c]) << '"';
+    }
+    out << "], \"rows\": [";
+    for (std::size_t r = 0; r < table.rows.size(); ++r) {
+      if (r > 0) out << ", ";
+      out << "[";
+      for (std::size_t c = 0; c < table.rows[r].size(); ++c) {
+        if (c > 0) out << ", ";
+        write_json_value(table.rows[r][c], out);
+      }
+      out << "]";
+    }
+    out << "]}";
+  }
+  out << "\n  ]\n}\n";
+}
+
+void write_csv(const ScenarioResult& result, std::ostream& out) {
+  out << "# scenario," << csv_escape(result.spec.name) << "\n";
+  out << "metric,value\n";
+  out << "threads," << result.executor_threads << "\n";
+  out << "elapsed_seconds," << format_number(result.elapsed_seconds) << "\n";
+  out << "cells_total," << result.cache.cells_total << "\n";
+  out << "cells_retrained," << result.cache.cells_retrained << "\n";
+  out << "cache_hits," << result.cache.cache_hits << "\n";
+  out << "disk_entries_loaded," << result.cache.disk_entries_loaded << "\n";
+  out << "disk_entries_saved," << result.cache.disk_entries_saved << "\n";
+  for (const auto& [key, value] : result.metrics) {
+    out << csv_escape(key) << "," << csv_escape(value.render()) << "\n";
+  }
+  for (const ResultTable& table : result.tables) {
+    out << "\n# table," << csv_escape(table.name) << "\n";
+    for (std::size_t c = 0; c < table.columns.size(); ++c) {
+      if (c > 0) out << ",";
+      out << csv_escape(table.columns[c]);
+    }
+    out << "\n";
+    for (const auto& row : table.rows) {
+      for (std::size_t c = 0; c < row.size(); ++c) {
+        if (c > 0) out << ",";
+        out << csv_escape(row[c].render());
+      }
+      out << "\n";
+    }
+  }
+}
+
+void write_text(const ScenarioResult& result, std::ostream& out) {
+  out << "=== "
+      << (result.spec.description.empty() ? result.spec.name
+                                          : result.spec.description)
+      << " ===\n";
+  out << "scenario: " << result.spec.name << " (kind " << result.spec.kind
+      << ")\n";
+  out << "executor threads: " << result.executor_threads << "\n";
+  for (const auto& [key, value] : result.metrics) {
+    out << key << ": " << value.render() << "\n";
+  }
+  for (const ResultTable& table : result.tables) {
+    out << "\n--- " << table.name << " ---\n";
+    util::TextTable text_table(table.columns);
+    for (const auto& row : table.rows) {
+      std::vector<std::string> cells;
+      cells.reserve(row.size());
+      for (const Value& v : row) cells.push_back(v.render());
+      text_table.add_row(std::move(cells));
+    }
+    out << text_table.str();
+  }
+  if (result.cache.enabled) {
+    out << "\npayoff cache: " << result.cache.cells_retrained
+        << " cells retrained, " << result.cache.cache_hits
+        << " served from cache";
+    if (result.cache.disk_enabled) {
+      out << ", " << result.cache.disk_entries_loaded
+          << " entries loaded from disk (" << result.cache.disk_dir << ")";
+    }
+    out << "\n";
+  }
+  out << "\nelapsed: " << util::format_double(result.elapsed_seconds, 1)
+      << "s\n";
+}
+
+void write_result(const ScenarioResult& result, const std::string& format,
+                  std::ostream& out) {
+  if (format == "json") {
+    write_json(result, out);
+  } else if (format == "csv") {
+    write_csv(result, out);
+  } else if (format == "text") {
+    write_text(result, out);
+  } else {
+    PG_CHECK(false, "unknown output format: " + format +
+                        " (expected json, csv, or text)");
+  }
+}
+
+}  // namespace pg::scenario

@@ -1,0 +1,97 @@
+// Declarative scenario description: what to run, at what size, with which
+// knobs -- the data the scenario engine executes.
+//
+// A ScenarioSpec is a flat bag of typed fields with a uniform string
+// field table, so the same struct is (a) buildable in code (the registry
+// does), (b) parseable from a simple key=value text file, and
+// (c) overridable one key at a time (`pg_run --set key=value`). The text
+// format is line-oriented:
+//
+//     # comment
+//     kind = pure_sweep
+//     instances = 700
+//     "epochs": 40,          <- JSON-ish spellings tolerated
+//
+// Unknown keys and malformed values throw std::invalid_argument, so a
+// typo'd spec file fails loudly instead of silently running the default.
+// parse(to_text()) round-trips exactly (doubles print with max precision).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pg::scenario {
+
+struct ScenarioSpec {
+  // ---- identity ------------------------------------------------------
+  std::string name = "custom";
+  /// Engine dispatch key: pure_sweep | mixed_table | pure_ne |
+  /// support_sweep | transfer | solver_ablation | defense_ablation |
+  /// solver_parallel | micro.
+  std::string kind;
+  std::string description;
+
+  // ---- experiment context (corpus + protocol) ------------------------
+  std::uint64_t seed = 42;
+  std::size_t instances = 4601;  // paper's Spambase size
+  std::size_t epochs = 300;
+  double train_fraction = 0.7;
+  double poison_fraction = 0.2;
+  double class_separation = 1.0;
+  bool real_corpus = true;  // use a real spambase.data when present
+
+  // ---- sweep axes ----------------------------------------------------
+  double sweep_max = 0.40;
+  std::size_t sweep_steps = 9;
+  std::size_t replications = 2;
+
+  // ---- mixed-strategy evaluation ------------------------------------
+  std::size_t draws = 3;
+  std::size_t support_min = 2;
+  std::size_t support_max = 3;
+
+  // ---- attack / defense families (comma-separated names) -------------
+  std::string attacks = "boundary,label_flip,noise";
+  std::string defenses = "distance,knn,pca,roni";
+
+  // ---- solver choices ------------------------------------------------
+  std::size_t solver_grid = 128;
+  std::size_t solver_iterations = 20000;
+  std::string lp_pricing = "bland";  // or "dantzig" (see game/lp.h)
+  std::string lp_sizes = "96,192,256,384";    // solver_parallel matrices
+  std::string fp_sizes = "256,512,1024,2048";
+  std::size_t timing_reps = 3;  // best-of repetitions for timed kernels
+
+  // ---- execution -----------------------------------------------------
+  std::size_t threads = 0;  // 0 = all cores, 1 = serial
+  /// Memoize payoff cells (in-memory always; spilled to/from disk when a
+  /// cache dir is configured). Off = the historical uncached behavior.
+  bool use_cache = true;
+  /// Disk spill directory; empty defers to $PG_CACHE_DIR (and disables
+  /// the disk layer when that is unset too).
+  std::string cache_dir;
+
+  // ---- uniform field access -----------------------------------------
+  /// Assign one field from its string form. Throws std::invalid_argument
+  /// on an unknown key or a value that does not fully parse.
+  void set(const std::string& key, const std::string& value);
+  /// Read one field in its string form. Throws on unknown keys.
+  [[nodiscard]] std::string get(const std::string& key) const;
+  /// Every settable key, in declaration order.
+  [[nodiscard]] static std::vector<std::string> keys();
+
+  /// Serialize as key=value lines (all fields, declaration order).
+  [[nodiscard]] std::string to_text() const;
+  /// Parse key=value text over the defaults. Throws on malformed lines.
+  [[nodiscard]] static ScenarioSpec parse(const std::string& text);
+};
+
+/// Split "a,b,c" into trimmed non-empty items.
+[[nodiscard]] std::vector<std::string> split_list(const std::string& csv);
+
+/// Parse a comma list of sizes, e.g. "96,192". Throws on non-numeric
+/// items; empty input yields an empty list.
+[[nodiscard]] std::vector<std::size_t> parse_size_list(const std::string& csv);
+
+}  // namespace pg::scenario

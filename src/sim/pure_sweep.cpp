@@ -1,5 +1,8 @@
 #include "sim/pure_sweep.h"
 
+#include <atomic>
+#include <cstdint>
+
 #include "attack/boundary_attack.h"
 #include "defense/distance_filter.h"
 #include "defense/pipeline.h"
@@ -30,12 +33,38 @@ struct SweepCell {
   double poison_survived = 0.0;
 };
 
+/// Distinguishes pure-sweep cache keys from every other key family that
+/// shares a PayoffCache (mixed-eval cells mix a different word sequence).
+constexpr std::uint64_t kSweepKeyTag = 0x50555245'53575045ULL;  // "PURESWPE"
+
+/// Key base covering everything a cell's three measurements depend on:
+/// the context, the filter strength, the grid index (the RNG stream is
+/// keyed by index, so the same fraction at a different grid position is a
+/// different cell), and the replication. The three measurements get
+/// sub-keys 0/1/2 off this base.
+runtime::ContentKey sweep_cell_key(std::uint64_t fingerprint, double fraction,
+                                   std::size_t gi, std::size_t rep) {
+  runtime::ContentKey key;
+  key.mix(kSweepKeyTag)
+      .mix(fingerprint)
+      .mix(fraction)
+      .mix(static_cast<std::uint64_t>(gi))
+      .mix(static_cast<std::uint64_t>(rep));
+  return key;
+}
+
+std::uint64_t subkey(runtime::ContentKey base, std::uint64_t arm) {
+  return base.mix(arm).digest();
+}
+
 }  // namespace
 
 PureSweepResult run_pure_sweep(const ExperimentContext& ctx,
                                const std::vector<double>& grid,
                                std::size_t replications,
-                               runtime::Executor* executor) {
+                               runtime::Executor* executor,
+                               runtime::PayoffCache* cache,
+                               PureSweepStats* stats) {
   PG_CHECK(!grid.empty(), "run_pure_sweep: empty grid");
   PG_CHECK(replications >= 1, "replications must be >= 1");
 
@@ -44,9 +73,15 @@ PureSweepResult run_pure_sweep(const ExperimentContext& ctx,
   result.clean_accuracy = ctx.clean_accuracy;
   result.poison_budget = ctx.poison_budget;
 
+  const std::uint64_t fingerprint =
+      cache != nullptr ? context_fingerprint(ctx) : 0;
+  std::atomic<std::size_t> retrained{0};
+  std::atomic<std::size_t> hits{0};
+
   // One retrain task per (grid point, replication) cell. Every cell draws
   // its randomness from a stream keyed by its own id, so results do not
-  // depend on which thread runs which cell, or in what order.
+  // depend on which thread runs which cell, or in what order -- and a
+  // cached cell is by definition the value the cell would recompute.
   const runtime::RngStreamFactory streams(ctx.config.seed);
   const std::size_t cells = grid.size() * replications;
   std::vector<SweepCell> out(cells);
@@ -54,6 +89,17 @@ PureSweepResult run_pure_sweep(const ExperimentContext& ctx,
     const std::size_t gi = c / replications;
     const std::size_t rep = c % replications;
     const double p = grid[gi];
+
+    const runtime::ContentKey base =
+        cache != nullptr ? sweep_cell_key(fingerprint, p, gi, rep)
+                         : runtime::ContentKey();
+    if (cache != nullptr && cache->lookup(subkey(base, 0), out[c].accuracy_no_attack) &&
+        cache->lookup(subkey(base, 1), out[c].accuracy_attacked) &&
+        cache->lookup(subkey(base, 2), out[c].poison_survived)) {
+      hits.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+
     util::Rng rng = streams.stream(gi, rep);
 
     defense::DistanceFilterConfig fcfg;
@@ -77,7 +123,20 @@ PureSweepResult run_pure_sweep(const ExperimentContext& ctx,
                                   ctx.poison_budget, filter_ptr, rng_attack);
     out[c].accuracy_attacked = res.test_accuracy;
     out[c].poison_survived = 1.0 - res.detection.recall;
+
+    retrained.fetch_add(1, std::memory_order_relaxed);
+    if (cache != nullptr) {
+      cache->store(subkey(base, 0), out[c].accuracy_no_attack);
+      cache->store(subkey(base, 1), out[c].accuracy_attacked);
+      cache->store(subkey(base, 2), out[c].poison_survived);
+    }
   });
+
+  if (stats != nullptr) {
+    stats->cells_total += cells;
+    stats->cells_retrained += retrained.load();
+    stats->cache_hits += hits.load();
+  }
 
   // Serial reduction in a fixed order, so the floating-point sums are
   // identical no matter how the cells were scheduled.

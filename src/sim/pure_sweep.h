@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "runtime/executor.h"
+#include "runtime/payoff_evaluator.h"
 #include "sim/experiment.h"
 
 namespace pg::sim {
@@ -35,6 +36,15 @@ struct PureSweepResult {
 [[nodiscard]] std::vector<double> sweep_grid(double max_fraction,
                                              std::size_t steps);
 
+/// Retrain traffic of one or more cached sweeps (the scenario engine sums
+/// these into its cache-stats output; a warm disk-cached re-run must
+/// report cells_retrained == 0).
+struct PureSweepStats {
+  std::size_t cells_total = 0;
+  std::size_t cells_retrained = 0;
+  std::size_t cache_hits = 0;
+};
+
 /// Run the sweep. `replications` > 1 averages accuracies over independent
 /// seeds (reduces SGD noise in the fitted curves).
 ///
@@ -42,9 +52,15 @@ struct PureSweepResult {
 /// an RngStreamFactory stream keyed by the cell id, so passing an executor
 /// parallelizes the sweep with BIT-IDENTICAL results to the serial run
 /// (null executor) at any thread count.
-[[nodiscard]] PureSweepResult run_pure_sweep(const ExperimentContext& ctx,
-                                             const std::vector<double>& grid,
-                                             std::size_t replications = 1,
-                                             runtime::Executor* executor = nullptr);
+///
+/// `cache` (optional) memoizes each cell's three measurements under keys
+/// covering the context fingerprint plus every per-cell knob -- a hit can
+/// only ever return what the cell would recompute, so caching (including a
+/// disk-preloaded cache from an earlier process) cannot change results,
+/// only skip retrains. `stats` (optional) accumulates the cell/hit counts.
+[[nodiscard]] PureSweepResult run_pure_sweep(
+    const ExperimentContext& ctx, const std::vector<double>& grid,
+    std::size_t replications = 1, runtime::Executor* executor = nullptr,
+    runtime::PayoffCache* cache = nullptr, PureSweepStats* stats = nullptr);
 
 }  // namespace pg::sim

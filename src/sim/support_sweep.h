@@ -26,10 +26,14 @@ struct SupportSweepRow {
 /// The n evaluations share one PayoffEvaluator on `executor` (null ->
 /// serial) with a common memo cache: strategies for different n often
 /// overlap in (placement, filter) cells, and overlapping cells retrain
-/// once instead of once per n.
+/// once instead of once per n. Passing `evaluator` (the scenario engine
+/// does, to share a disk-backed cache and read the retrain counters)
+/// replaces the internally-built one; `executor` then only drives the
+/// Algorithm-1 solves.
 [[nodiscard]] std::vector<SupportSweepRow> run_support_sweep(
     const ExperimentContext& ctx, const core::PoisoningGame& game,
     std::size_t max_n, const core::Algorithm1Config& base_config = {},
-    const MixedEvalConfig& eval = {}, runtime::Executor* executor = nullptr);
+    const MixedEvalConfig& eval = {}, runtime::Executor* executor = nullptr,
+    const runtime::PayoffEvaluator* evaluator = nullptr);
 
 }  // namespace pg::sim

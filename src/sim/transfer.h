@@ -40,8 +40,20 @@ struct TransferConfig {
 /// `executor` (null -> serial) parallelizes the two solve sweeps and both
 /// target evaluations; the evaluations share one payoff cache, so support
 /// points common to the transferred and native strategies retrain once.
+///
+/// The trailing parameters exist for the scenario engine's disk-backed
+/// caching: `target_evaluator` replaces the internally-built evaluator for
+/// the two target evaluations (bring your own cache and counters), the two
+/// sweep caches memoize the source/native solve sweeps (each keyed by its
+/// own context fingerprint), and `sweep_stats` accumulates their retrain
+/// traffic. All default to the uncached legacy behavior, with values
+/// bit-identical either way.
 [[nodiscard]] TransferResult run_transfer_experiment(
     const ExperimentContext& source, const ExperimentContext& target,
-    const TransferConfig& config = {}, runtime::Executor* executor = nullptr);
+    const TransferConfig& config = {}, runtime::Executor* executor = nullptr,
+    const runtime::PayoffEvaluator* target_evaluator = nullptr,
+    runtime::PayoffCache* source_sweep_cache = nullptr,
+    runtime::PayoffCache* target_sweep_cache = nullptr,
+    PureSweepStats* sweep_stats = nullptr);
 
 }  // namespace pg::sim

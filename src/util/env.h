@@ -1,0 +1,38 @@
+// Environment-variable overrides shared by every CLI surface.
+//
+// The bench wrappers, the scenario engine, and the disk cache all read the
+// same PG_* knobs; these helpers are the single parsing point so a knob
+// behaves identically everywhere. Unset (or empty) variables yield the
+// fallback; malformed numerics parse their longest valid prefix, matching
+// strtoull/strtod semantics the benches have always had.
+#pragma once
+
+#include <cstdlib>
+#include <string>
+
+namespace pg::util {
+
+/// Unsigned integer knob, e.g. PG_BENCH_INSTANCES.
+[[nodiscard]] inline std::size_t env_size(const char* name,
+                                          std::size_t fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  return static_cast<std::size_t>(std::strtoull(v, nullptr, 10));
+}
+
+/// Floating-point knob.
+[[nodiscard]] inline double env_double(const char* name, double fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  return std::strtod(v, nullptr);
+}
+
+/// String knob, e.g. PG_CACHE_DIR. Empty and unset both yield the fallback.
+[[nodiscard]] inline std::string env_string(const char* name,
+                                            const std::string& fallback = "") {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  return std::string(v);
+}
+
+}  // namespace pg::util

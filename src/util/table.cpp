@@ -1,6 +1,7 @@
 #include "util/table.h"
 
 #include <algorithm>
+#include <cstdlib>
 #include <iomanip>
 #include <sstream>
 
@@ -61,6 +62,17 @@ std::string format_double(double v, int precision) {
 std::string format_percent(double fraction, int precision) {
   std::ostringstream os;
   os << std::fixed << std::setprecision(precision) << fraction * 100.0 << "%";
+  return os.str();
+}
+
+std::string format_double_roundtrip(double v) {
+  for (int precision = 6; precision <= 17; ++precision) {
+    std::ostringstream os;
+    os << std::setprecision(precision) << v;
+    if (std::strtod(os.str().c_str(), nullptr) == v) return os.str();
+  }
+  std::ostringstream os;
+  os << std::setprecision(17) << v;
   return os.str();
 }
 

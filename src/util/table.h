@@ -35,6 +35,11 @@ class TextTable {
 /// Format a double as a fixed-precision string (helper for table cells).
 [[nodiscard]] std::string format_double(double v, int precision = 4);
 
+/// Shortest decimal form that parses back to exactly the same double
+/// (0.25 -> "0.25", not 17 digits) -- the lossless serialization used by
+/// both the scenario spec and the result sinks. Finite inputs only.
+[[nodiscard]] std::string format_double_roundtrip(double v);
+
 /// Format a fraction as a percentage string, e.g. 0.058 -> "5.8%".
 [[nodiscard]] std::string format_percent(double fraction, int precision = 1);
 

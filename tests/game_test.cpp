@@ -529,5 +529,90 @@ TEST_P(RandomGameProperty, SaddleIffZeroGapAndLpInGap) {
 INSTANTIATE_TEST_SUITE_P(RandomGames, RandomGameProperty,
                          ::testing::Range<std::uint64_t>(0, 25));
 
+// ----------------------------------------------------- Dantzig pricing
+
+MatrixGame random_square_game(std::size_t size, std::uint64_t seed) {
+  util::Rng rng(seed);
+  la::Matrix a(size, size);
+  for (std::size_t i = 0; i < size; ++i) {
+    for (std::size_t j = 0; j < size; ++j) {
+      a(i, j) = rng.uniform(-5.0, 5.0);
+    }
+  }
+  return MatrixGame(std::move(a));
+}
+
+TEST(LpPricingTest, ParseAndNameRoundTrip) {
+  EXPECT_EQ(parse_lp_pricing("bland"), LpPricing::kBland);
+  EXPECT_EQ(parse_lp_pricing("dantzig"), LpPricing::kDantzig);
+  EXPECT_THROW((void)parse_lp_pricing("steepest"), std::invalid_argument);
+  EXPECT_STREQ(lp_pricing_name(LpPricing::kBland), "bland");
+  EXPECT_STREQ(lp_pricing_name(LpPricing::kDantzig), "dantzig");
+}
+
+TEST(LpPricingTest, DantzigReachesTheSameGameValue) {
+  // Both pricing rules walk to an optimal vertex; the objective (and
+  // hence the game value) must agree to solver tolerance, and both
+  // strategies must be unexploitable. Dantzig typically needs no more
+  // pivots than Bland; assert it at least terminates well under the
+  // fallback budget (i.e. its own pricing finished the solve).
+  for (const std::uint64_t seed : {11u, 12u, 13u}) {
+    const MatrixGame g = random_square_game(40, seed);
+    const Equilibrium bland =
+        solve_lp_equilibrium(g, nullptr, {LpPricing::kBland});
+    const Equilibrium dantzig =
+        solve_lp_equilibrium(g, nullptr, {LpPricing::kDantzig});
+    EXPECT_NEAR(bland.value, dantzig.value, 1e-9);
+    EXPECT_LT(exploitability(g, dantzig.row_strategy, dantzig.col_strategy),
+              1e-8);
+  }
+}
+
+TEST(LpPricingTest, DantzigIsBitIdenticalAcrossThreadCounts) {
+  // The Dantzig pricing scan is an exact parallel_argmin, so the parallel
+  // pivot sequence -- and the returned equilibrium -- must equal the
+  // serial one bit for bit, the same contract the Bland path honors.
+  const MatrixGame g = random_square_game(48, 99);
+  const Equilibrium serial =
+      solve_lp_equilibrium(g, nullptr, {LpPricing::kDantzig});
+  runtime::ThreadPoolExecutor four(4);
+  const Equilibrium parallel =
+      solve_lp_equilibrium(g, &four, {LpPricing::kDantzig});
+  EXPECT_EQ(serial.value, parallel.value);
+  EXPECT_EQ(serial.row_strategy, parallel.row_strategy);
+  EXPECT_EQ(serial.col_strategy, parallel.col_strategy);
+}
+
+TEST(LpPricingTest, DantzigUsuallyPivotsLess) {
+  // The motivation for the flag: on random dense games Dantzig's
+  // steepest-reduced-cost choice should not do WORSE than Bland's
+  // smallest-index walk. Compare total pivots across a small family.
+  std::size_t bland_pivots = 0;
+  std::size_t dantzig_pivots = 0;
+  for (std::uint64_t seed = 30; seed < 36; ++seed) {
+    const MatrixGame g = random_square_game(32, seed);
+    const la::Matrix& payoff = g.payoff();
+    double lo = 0.0;
+    for (std::size_t i = 0; i < g.num_rows(); ++i) {
+      for (std::size_t j = 0; j < g.num_cols(); ++j) {
+        lo = std::min(lo, payoff(i, j));
+      }
+    }
+    LpProblem problem;
+    problem.a = la::Matrix(g.num_rows(), g.num_cols());
+    for (std::size_t i = 0; i < g.num_rows(); ++i) {
+      for (std::size_t j = 0; j < g.num_cols(); ++j) {
+        problem.a(i, j) = payoff(i, j) + (1.0 - lo);
+      }
+    }
+    problem.b.assign(g.num_rows(), 1.0);
+    problem.c.assign(g.num_cols(), 1.0);
+    bland_pivots += solve_lp(problem, nullptr, {LpPricing::kBland}).iterations;
+    dantzig_pivots +=
+        solve_lp(problem, nullptr, {LpPricing::kDantzig}).iterations;
+  }
+  EXPECT_LE(dantzig_pivots, bland_pivots);
+}
+
 }  // namespace
 }  // namespace pg::game

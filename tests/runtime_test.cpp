@@ -9,16 +9,19 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <filesystem>
 #include <mutex>
 #include <set>
 #include <stdexcept>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "core/equilibrium.h"
 #include "core/game_model.h"
 #include "runtime/executor.h"
 #include "runtime/parallel_reduce.h"
+#include "runtime/payoff_disk_cache.h"
 #include "runtime/payoff_evaluator.h"
 #include "runtime/rng_stream.h"
 #include "runtime/thread_pool.h"
@@ -460,6 +463,103 @@ TEST(RuntimeDeterminismTest, MixedEvalBitIdenticalAcrossThreadCountsAndCache) {
                 serial.accuracy_by_placement[i]);
     }
   }
+}
+
+// ------------------------------------------------- payoff cache counters
+
+TEST(PayoffCacheTest, CountsHitsAndMisses) {
+  runtime::PayoffCache cache;
+  double value = 0.0;
+  EXPECT_FALSE(cache.lookup(1, value));
+  cache.store(1, 0.5);
+  EXPECT_TRUE(cache.lookup(1, value));
+  EXPECT_EQ(value, 0.5);
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  cache.clear();
+  EXPECT_EQ(cache.stats().hits, 0u);
+}
+
+TEST(PayoffCacheTest, SnapshotIsSortedAndPreloadDoesNotCount) {
+  runtime::PayoffCache cache;
+  cache.store(9, 0.9);
+  cache.store(3, 0.3);
+  cache.preload({{5, 0.5}, {3, 777.0}});  // existing key 3 keeps its value
+  const auto entries = cache.snapshot();
+  ASSERT_EQ(entries.size(), 3u);
+  EXPECT_EQ(entries[0], (std::pair<std::uint64_t, double>{3, 0.3}));
+  EXPECT_EQ(entries[1], (std::pair<std::uint64_t, double>{5, 0.5}));
+  EXPECT_EQ(entries[2], (std::pair<std::uint64_t, double>{9, 0.9}));
+  EXPECT_EQ(cache.stats().hits, 0u);
+  EXPECT_EQ(cache.stats().misses, 0u);
+}
+
+// ------------------------------------------------- payoff_disk_cache.h
+
+TEST(DiskPayoffCacheTest, EncodeDecodeRoundTrip) {
+  const std::vector<std::pair<std::uint64_t, double>> entries = {
+      {1, 0.25}, {0xFFFFFFFFFFFFFFFFULL, -1e300}, {42, 0.0}};
+  const std::string bytes = runtime::DiskPayoffCache::encode(entries);
+  std::vector<std::pair<std::uint64_t, double>> decoded;
+  ASSERT_TRUE(runtime::DiskPayoffCache::decode(bytes, decoded));
+  EXPECT_EQ(decoded, entries);
+}
+
+TEST(DiskPayoffCacheTest, DecodeRejectsCorruption) {
+  const std::string bytes =
+      runtime::DiskPayoffCache::encode({{1, 0.25}, {2, 0.5}});
+  std::vector<std::pair<std::uint64_t, double>> decoded;
+  EXPECT_FALSE(runtime::DiskPayoffCache::decode("", decoded));
+  EXPECT_FALSE(runtime::DiskPayoffCache::decode("garbage", decoded));
+  // Truncated body.
+  EXPECT_FALSE(
+      runtime::DiskPayoffCache::decode(bytes.substr(0, bytes.size() - 8),
+                                       decoded));
+  // One flipped payload byte breaks the checksum.
+  std::string flipped = bytes;
+  flipped[20] = static_cast<char>(flipped[20] ^ 0x01);
+  EXPECT_FALSE(runtime::DiskPayoffCache::decode(flipped, decoded));
+  EXPECT_TRUE(decoded.empty());
+  // A crafted count near 2^61 would overflow the size arithmetic; the
+  // decoder must reject it instead of over-reserving or reading past
+  // the buffer.
+  std::string huge_count = runtime::DiskPayoffCache::encode({});
+  for (int b = 0; b < 8; ++b) huge_count[8 + b] = '\xFF';
+  EXPECT_FALSE(runtime::DiskPayoffCache::decode(huge_count, decoded));
+}
+
+TEST(DiskPayoffCacheTest, DisabledCacheIsANoOp) {
+  runtime::DiskPayoffCache disk("");
+  EXPECT_FALSE(disk.enabled());
+  runtime::PayoffCache cache;
+  cache.store(1, 1.0);
+  EXPECT_EQ(disk.load(1, cache), 0u);
+  EXPECT_EQ(disk.save(1, cache), 0u);
+}
+
+TEST(DiskPayoffCacheTest, SaveLoadRoundTripsAcrossCaches) {
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "pg_disk_cache_test")
+          .string();
+  std::filesystem::remove_all(dir);
+  {
+    runtime::DiskPayoffCache disk(dir);
+    runtime::PayoffCache cache;
+    cache.store(10, 0.125);
+    cache.store(11, 0.625);
+    EXPECT_EQ(disk.save(77, cache), 2u);
+
+    runtime::PayoffCache reloaded;
+    EXPECT_EQ(disk.load(77, reloaded), 2u);
+    double value = 0.0;
+    EXPECT_TRUE(reloaded.lookup(10, value));
+    EXPECT_EQ(value, 0.125);
+    // Different shard: untouched.
+    runtime::PayoffCache other;
+    EXPECT_EQ(disk.load(78, other), 0u);
+  }
+  std::filesystem::remove_all(dir);
 }
 
 }  // namespace

@@ -1,0 +1,382 @@
+// Tests for the scenario engine: spec parse/print round-trips, --set
+// override precedence, the registry catalog, engine output equality with
+// the direct library path (what the legacy benches computed), thread
+// invariance, and disk-cache warm-run behavior (zero retrains, identical
+// payoffs, graceful corruption fallback).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "scenario/cli.h"
+#include "scenario/engine.h"
+#include "scenario/registry.h"
+#include "scenario/result.h"
+#include "scenario/spec.h"
+#include "sim/experiment.h"
+#include "sim/pure_sweep.h"
+
+namespace pg::scenario {
+namespace {
+
+// ------------------------------------------------------------------ spec
+
+TEST(SpecTest, RoundTripsThroughText) {
+  ScenarioSpec spec;
+  spec.name = "custom-sweep";
+  spec.kind = "pure_sweep";
+  spec.description = "a description, with punctuation";
+  spec.seed = 1234567890123ULL;
+  spec.instances = 321;
+  spec.sweep_max = 0.37;
+  spec.train_fraction = 0.7;  // must survive exactly
+  spec.real_corpus = false;
+  spec.lp_pricing = "dantzig";
+
+  const ScenarioSpec parsed = ScenarioSpec::parse(spec.to_text());
+  EXPECT_EQ(parsed.to_text(), spec.to_text());
+  EXPECT_EQ(parsed.seed, spec.seed);
+  EXPECT_EQ(parsed.sweep_max, spec.sweep_max);
+  EXPECT_EQ(parsed.train_fraction, 0.7);
+  EXPECT_FALSE(parsed.real_corpus);
+}
+
+TEST(SpecTest, ParsesJsonishSpelling) {
+  const ScenarioSpec spec = ScenarioSpec::parse(
+      "{\n"
+      "  \"kind\": \"pure_sweep\",\n"
+      "  \"instances\": 700,\n"
+      "  # comment line\n"
+      "  epochs = 40\n"
+      "}\n");
+  EXPECT_EQ(spec.kind, "pure_sweep");
+  EXPECT_EQ(spec.instances, 700u);
+  EXPECT_EQ(spec.epochs, 40u);
+  EXPECT_EQ(spec.seed, 42u);  // untouched default
+}
+
+TEST(SpecTest, QuotedValuesMayContainSeparatorCharacters) {
+  const ScenarioSpec spec = ScenarioSpec::parse(
+      "\"description\": \"sweep p = 0..0.4, ratio 1:2\",\n"
+      "name = a=b\n");
+  EXPECT_EQ(spec.description, "sweep p = 0..0.4, ratio 1:2");
+  EXPECT_EQ(spec.name, "a=b");  // unquoted: split at the FIRST separator
+}
+
+TEST(SpecTest, RejectsUnknownKeysAndMalformedValues) {
+  ScenarioSpec spec;
+  EXPECT_THROW(spec.set("no_such_knob", "1"), std::invalid_argument);
+  EXPECT_THROW(spec.set("instances", "12abc"), std::invalid_argument);
+  EXPECT_THROW(spec.set("instances", "-3"), std::invalid_argument);
+  EXPECT_THROW(spec.set("sweep_max", "zero point four"),
+               std::invalid_argument);
+  EXPECT_THROW(spec.set("use_cache", "maybe"), std::invalid_argument);
+  EXPECT_THROW(ScenarioSpec::parse("a line without separator\n"),
+               std::invalid_argument);
+  EXPECT_THROW((void)spec.get("no_such_knob"), std::invalid_argument);
+}
+
+TEST(SpecTest, KeysCoverEveryFieldBothWays) {
+  // get/set agree for every advertised key: set(key, get(key)) is a
+  // no-op, so the table has no write-only or read-only entries.
+  ScenarioSpec spec;
+  spec.kind = "micro";
+  for (const std::string& key : ScenarioSpec::keys()) {
+    ScenarioSpec copy = spec;
+    copy.set(key, spec.get(key));
+    EXPECT_EQ(copy.to_text(), spec.to_text()) << "key: " << key;
+  }
+}
+
+TEST(SpecTest, SizeListParsing) {
+  EXPECT_EQ(parse_size_list("96, 192,256"),
+            (std::vector<std::size_t>{96, 192, 256}));
+  EXPECT_TRUE(parse_size_list("").empty());
+  EXPECT_THROW(parse_size_list("96,banana"), std::invalid_argument);
+}
+
+// -------------------------------------------------------------- registry
+
+TEST(RegistryTest, ListsEveryLegacyScenario) {
+  const auto& registry = ScenarioRegistry::instance();
+  EXPECT_GE(registry.entries().size(), 8u);
+  for (const char* name :
+       {"fig1", "table1", "prop1", "nsweep", "transfer", "solver_ablation",
+        "defense_ablation", "solver_parallel", "micro"}) {
+    EXPECT_TRUE(registry.contains(name)) << name;
+    const ScenarioSpec spec = registry.make(name);
+    EXPECT_EQ(spec.name, name);
+    EXPECT_FALSE(spec.kind.empty());
+    EXPECT_FALSE(spec.description.empty());
+  }
+  EXPECT_THROW((void)registry.make("nope"), std::invalid_argument);
+}
+
+TEST(RegistryTest, HonorsBenchEnvKnobsLikeTheLegacyBenches) {
+  // prop1 capped instances at min(PG_BENCH_INSTANCES, 1500).
+  ASSERT_EQ(setenv("PG_BENCH_INSTANCES", "900", 1), 0);
+  EXPECT_EQ(ScenarioRegistry::instance().make("prop1").instances, 900u);
+  ASSERT_EQ(setenv("PG_BENCH_INSTANCES", "4000", 1), 0);
+  EXPECT_EQ(ScenarioRegistry::instance().make("prop1").instances, 1500u);
+  EXPECT_EQ(ScenarioRegistry::instance().make("fig1").instances, 4000u);
+  ASSERT_EQ(unsetenv("PG_BENCH_INSTANCES"), 0);
+}
+
+// ------------------------------------------------------------------- cli
+
+TEST(CliTest, ParsesFlagsAndDesugarsShorthands) {
+  const CliOptions options = parse_cli(
+      {"--scenario", "fig1", "--set", "instances=100", "--threads", "2",
+       "--no-cache", "--cache-dir", "/tmp/x", "--out", "json", "--out-file",
+       "r.json"});
+  EXPECT_EQ(options.scenario, "fig1");
+  EXPECT_EQ(options.out_format, "json");
+  EXPECT_EQ(options.out_file, "r.json");
+  ASSERT_EQ(options.overrides.size(), 4u);
+  EXPECT_EQ(options.overrides[0],
+            (std::pair<std::string, std::string>{"instances", "100"}));
+  EXPECT_EQ(options.overrides[1].first, "threads");
+  EXPECT_EQ(options.overrides[2].first, "use_cache");
+  EXPECT_EQ(options.overrides[3].first, "cache_dir");
+}
+
+TEST(CliTest, RejectsBadInput) {
+  EXPECT_THROW(parse_cli({"--wat"}), std::invalid_argument);
+  EXPECT_THROW(parse_cli({"--set", "no-equals"}), std::invalid_argument);
+  EXPECT_THROW(parse_cli({"--set"}), std::invalid_argument);
+  EXPECT_THROW(parse_cli({"--scenario", "a", "--spec", "b"}),
+               std::invalid_argument);
+  EXPECT_THROW(parse_cli({"--out", "xml"}), std::invalid_argument);
+}
+
+TEST(CliTest, ListShowsTheCatalog) {
+  std::ostringstream out;
+  std::ostringstream err;
+  EXPECT_EQ(run_cli(parse_cli({"--list"}), out, err), 0);
+  for (const std::string& name : ScenarioRegistry::instance().names()) {
+    EXPECT_NE(out.str().find(name), std::string::npos) << name;
+  }
+}
+
+TEST(CliTest, SetOverridesSpecFileAndLastSetWins) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "pg_spec_test.txt").string();
+  {
+    std::ofstream file(path);
+    file << "kind = pure_sweep\ninstances = 500\nepochs = 30\n";
+  }
+  std::ostringstream out;
+  std::ostringstream err;
+  const int rc = run_cli(
+      parse_cli({"--spec", path, "--set", "instances=200", "--set",
+                 "instances=250", "--print-spec"}),
+      out, err);
+  EXPECT_EQ(rc, 0) << err.str();
+  const ScenarioSpec resolved = ScenarioSpec::parse(out.str());
+  EXPECT_EQ(resolved.instances, 250u);  // --set beats file, last --set wins
+  EXPECT_EQ(resolved.epochs, 30u);      // file beats default
+  std::remove(path.c_str());
+}
+
+TEST(CliTest, ErrorsReportToStderrWithNonzeroExit) {
+  std::ostringstream out;
+  std::ostringstream err;
+  EXPECT_EQ(run_cli(parse_cli({"--scenario", "nope"}), out, err), 1);
+  EXPECT_NE(err.str().find("unknown scenario"), std::string::npos);
+}
+
+// ---------------------------------------------------------------- engine
+
+/// Tiny but structurally complete spec: synthetic corpus, short SVM.
+ScenarioSpec tiny_spec(const std::string& kind) {
+  ScenarioSpec spec;
+  spec.name = "tiny_" + kind;
+  spec.kind = kind;
+  spec.seed = 7;
+  spec.instances = 300;
+  spec.epochs = 20;
+  spec.real_corpus = false;
+  spec.sweep_steps = 3;
+  spec.replications = 1;
+  spec.draws = 1;
+  spec.support_min = 2;
+  spec.support_max = 2;
+  spec.threads = 1;
+  return spec;
+}
+
+bool timing_column(const std::string& name) {
+  const auto ends_with = [&](const char* suffix) {
+    const std::string s(suffix);
+    return name.size() >= s.size() &&
+           name.compare(name.size() - s.size(), s.size(), s) == 0;
+  };
+  return ends_with("_ms") || ends_with("_seconds");
+}
+
+/// All non-timing cells of every table plus all non-timing metrics, in a
+/// canonical render, for bitwise comparisons across runs/thread counts.
+std::vector<std::string> comparable_cells(const ScenarioResult& result) {
+  std::vector<std::string> cells;
+  for (const auto& [key, value] : result.metrics) {
+    if (!timing_column(key)) cells.push_back(key + "=" + value.render());
+  }
+  for (const ResultTable& table : result.tables) {
+    for (const auto& row : table.rows) {
+      for (std::size_t c = 0; c < row.size(); ++c) {
+        if (timing_column(table.columns[c])) continue;
+        cells.push_back(table.name + "." + table.columns[c] + "=" +
+                        row[c].render());
+      }
+    }
+  }
+  return cells;
+}
+
+TEST(EngineTest, RejectsUnknownKind) {
+  ScenarioSpec spec = tiny_spec("no_such_kind");
+  EXPECT_THROW((void)run_scenario(spec), std::invalid_argument);
+}
+
+TEST(EngineTest, PureSweepMatchesDirectLibraryPath) {
+  // The engine must reproduce EXACTLY what the legacy bench computed by
+  // calling the sim/ entry points directly with the same knobs.
+  const ScenarioSpec spec = tiny_spec("pure_sweep");
+  const ScenarioResult result = run_scenario(spec);
+
+  sim::ExperimentConfig cfg;
+  cfg.seed = spec.seed;
+  cfg.corpus.n_instances = spec.instances;
+  cfg.svm.epochs = spec.epochs;
+  cfg.try_real_corpus = false;
+  const sim::ExperimentContext ctx = sim::prepare_experiment(cfg);
+  const auto sweep = sim::run_pure_sweep(
+      ctx, sim::sweep_grid(spec.sweep_max, spec.sweep_steps),
+      spec.replications, nullptr);
+
+  ASSERT_EQ(result.tables[0].name, "pure_sweep");
+  ASSERT_EQ(result.tables[0].rows.size(), sweep.points.size());
+  for (std::size_t i = 0; i < sweep.points.size(); ++i) {
+    const auto& row = result.tables[0].rows[i];
+    EXPECT_EQ(row[0].number(), sweep.points[i].removal_fraction);
+    EXPECT_EQ(row[1].number(), sweep.points[i].accuracy_no_attack);
+    EXPECT_EQ(row[2].number(), sweep.points[i].accuracy_attacked);
+    EXPECT_EQ(row[3].number(), sweep.points[i].poison_survived_fraction);
+  }
+}
+
+TEST(EngineTest, OutputBitIdenticalAcrossThreadCounts) {
+  ScenarioSpec spec = tiny_spec("mixed_table");
+  spec.threads = 1;
+  const auto serial = comparable_cells(run_scenario(spec));
+  spec.threads = 3;
+  const auto threaded = comparable_cells(run_scenario(spec));
+  EXPECT_EQ(serial, threaded);
+}
+
+TEST(EngineTest, CachingDoesNotChangeResults) {
+  ScenarioSpec spec = tiny_spec("mixed_table");
+  spec.use_cache = false;
+  const auto uncached = comparable_cells(run_scenario(spec));
+  spec.use_cache = true;
+  const auto cached = comparable_cells(run_scenario(spec));
+  EXPECT_EQ(uncached, cached);
+}
+
+class DiskCacheScenarioTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = (std::filesystem::temp_directory_path() /
+            ("pg_scenario_cache_" +
+             std::to_string(::testing::UnitTest::GetInstance()->random_seed())))
+               .string();
+    std::filesystem::remove_all(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+  std::string dir_;
+};
+
+TEST_F(DiskCacheScenarioTest, WarmRunRetrainsNothingAndMatchesColdRun) {
+  ScenarioSpec spec = tiny_spec("mixed_table");
+  spec.cache_dir = dir_;
+
+  const ScenarioResult cold = run_scenario(spec);
+  EXPECT_TRUE(cold.cache.enabled);
+  EXPECT_TRUE(cold.cache.disk_enabled);
+  EXPECT_EQ(cold.cache.disk_entries_loaded, 0u);
+  EXPECT_GT(cold.cache.cells_retrained, 0u);
+  EXPECT_GT(cold.cache.disk_entries_saved, 0u);
+
+  const ScenarioResult warm = run_scenario(spec);
+  EXPECT_EQ(warm.cache.cells_retrained, 0u)
+      << "warm disk-cached re-run must not retrain any payoff cell";
+  EXPECT_GT(warm.cache.cache_hits, 0u);
+  EXPECT_GT(warm.cache.disk_entries_loaded, 0u);
+  EXPECT_EQ(comparable_cells(cold), comparable_cells(warm));
+}
+
+TEST_F(DiskCacheScenarioTest, TweakedSweepReusesOverlappingCells) {
+  ScenarioSpec spec = tiny_spec("pure_sweep");
+  spec.cache_dir = dir_;
+  (void)run_scenario(spec);
+
+  // Denser grid over the same range: the original grid points recur at
+  // the same fractions but different grid indices, EXCEPT the endpoints
+  // of this 3 -> 5 step refinement... the shared cells are the ones
+  // whose (fraction, index) pair matches; at minimum the p = 0 cell.
+  ScenarioSpec tweaked = spec;
+  tweaked.sweep_steps = 5;
+  const ScenarioResult rerun = run_scenario(tweaked);
+  EXPECT_GT(rerun.cache.cache_hits, 0u);
+  EXPECT_LT(rerun.cache.cells_retrained, 5u);  // reused at least one
+}
+
+TEST_F(DiskCacheScenarioTest, CorruptShardFallsBackToColdRun) {
+  ScenarioSpec spec = tiny_spec("pure_sweep");
+  spec.cache_dir = dir_;
+  const ScenarioResult cold = run_scenario(spec);
+
+  // Trash every shard file: the loader must ignore them, recompute, and
+  // produce identical results.
+  for (const auto& entry : std::filesystem::directory_iterator(dir_)) {
+    std::ofstream file(entry.path(), std::ios::binary | std::ios::trunc);
+    file << "this is not a cache file";
+  }
+  const ScenarioResult recovered = run_scenario(spec);
+  EXPECT_EQ(recovered.cache.disk_entries_loaded, 0u);
+  EXPECT_GT(recovered.cache.cells_retrained, 0u);
+  EXPECT_EQ(comparable_cells(cold), comparable_cells(recovered));
+}
+
+// ----------------------------------------------------------------- sinks
+
+TEST(SinkTest, JsonIsMachineReadableAndCarriesCacheStats) {
+  ScenarioSpec spec = tiny_spec("pure_sweep");
+  const ScenarioResult result = run_scenario(spec);
+  std::ostringstream out;
+  write_json(result, out);
+  const std::string json = out.str();
+  EXPECT_NE(json.find("\"scenario\": \"tiny_pure_sweep\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"cells_retrained\""), std::string::npos);
+  EXPECT_NE(json.find("\"tables\""), std::string::npos);
+
+  std::ostringstream csv;
+  write_csv(result, csv);
+  EXPECT_NE(csv.str().find("# table,pure_sweep"), std::string::npos);
+
+  std::ostringstream text;
+  write_text(result, text);
+  EXPECT_NE(text.str().find("executor threads:"), std::string::npos);
+
+  std::ostringstream sink;
+  EXPECT_THROW(write_result(result, "xml", sink), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pg::scenario

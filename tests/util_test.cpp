@@ -7,6 +7,7 @@
 #include <stdexcept>
 
 #include "util/csv.h"
+#include "util/env.h"
 #include "util/error.h"
 #include "util/interp.h"
 #include "util/rng.h"
@@ -490,6 +491,29 @@ TEST(StopwatchTest, MeasuresNonNegativeTime) {
   Stopwatch w;
   EXPECT_GE(w.elapsed_seconds(), 0.0);
   EXPECT_GE(w.elapsed_ms(), 0.0);
+}
+
+// ------------------------------------------------------------------ env.h
+
+TEST(EnvTest, FallsBackWhenUnsetOrEmpty) {
+  ASSERT_EQ(unsetenv("PG_TEST_KNOB"), 0);
+  EXPECT_EQ(env_size("PG_TEST_KNOB", 7), 7u);
+  EXPECT_EQ(env_double("PG_TEST_KNOB", 0.5), 0.5);
+  EXPECT_EQ(env_string("PG_TEST_KNOB", "dflt"), "dflt");
+  ASSERT_EQ(setenv("PG_TEST_KNOB", "", 1), 0);
+  EXPECT_EQ(env_size("PG_TEST_KNOB", 7), 7u);
+  EXPECT_EQ(env_string("PG_TEST_KNOB", "dflt"), "dflt");
+  ASSERT_EQ(unsetenv("PG_TEST_KNOB"), 0);
+}
+
+TEST(EnvTest, ParsesSetValues) {
+  ASSERT_EQ(setenv("PG_TEST_KNOB", "123", 1), 0);
+  EXPECT_EQ(env_size("PG_TEST_KNOB", 7), 123u);
+  EXPECT_EQ(env_double("PG_TEST_KNOB", 0.5), 123.0);
+  EXPECT_EQ(env_string("PG_TEST_KNOB", "dflt"), "123");
+  ASSERT_EQ(setenv("PG_TEST_KNOB", "0.25", 1), 0);
+  EXPECT_EQ(env_double("PG_TEST_KNOB", 0.5), 0.25);
+  ASSERT_EQ(unsetenv("PG_TEST_KNOB"), 0);
 }
 
 }  // namespace

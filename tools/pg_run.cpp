@@ -1,0 +1,24 @@
+// pg_run: the unified scenario driver.
+//
+// One binary replaces the eight hand-rolled bench mains: `--list` shows
+// the registered paper reproductions, `--scenario`/`--spec` executes any
+// of them (or a custom spec file) through the scenario engine on the
+// runtime Executor, `--set` tweaks individual knobs, and `--out` picks
+// the result sink (text, JSON, CSV). See src/scenario/ for the engine.
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "scenario/cli.h"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  pg::scenario::CliOptions options;
+  try {
+    options = pg::scenario::parse_cli(args);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
+  }
+  return pg::scenario::run_cli(options, std::cout, std::cerr);
+}
