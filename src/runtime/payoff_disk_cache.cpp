@@ -1,9 +1,12 @@
 #include "runtime/payoff_disk_cache.h"
 
+#include <algorithm>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
+#include <tuple>
+#include <vector>
 
 #include "util/env.h"
 #include "util/logging.h"
@@ -168,6 +171,56 @@ std::size_t DiskPayoffCache::save(std::uint64_t shard,
     return 0;
   }
   return entries.size();
+}
+
+std::size_t DiskPayoffCache::enforce_max_bytes() const {
+  if (!enabled() || max_bytes_ == 0) return 0;
+  struct Shard {
+    std::filesystem::file_time_type mtime;
+    std::string name;  // same-mtime tiebreak, so eviction is deterministic
+    std::uintmax_t bytes;
+    std::filesystem::path path;
+  };
+  std::vector<Shard> shards;
+  std::uintmax_t total = 0;
+  std::error_code ec;
+  std::filesystem::directory_iterator it(dir_, ec);
+  if (ec) return 0;  // unreadable/missing dir: nothing to evict
+  for (const auto& entry : it) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("payoff-", 0) != 0 ||
+        entry.path().extension() != ".pgpc") {
+      continue;  // never touch files the cache did not write
+    }
+    const std::uintmax_t bytes = entry.file_size(ec);
+    if (ec) continue;
+    const auto mtime = entry.last_write_time(ec);
+    if (ec) continue;
+    total += bytes;
+    shards.push_back({mtime, name, bytes, entry.path()});
+  }
+  if (total <= max_bytes_) return 0;
+  std::sort(shards.begin(), shards.end(), [](const Shard& a, const Shard& b) {
+    return std::tie(a.mtime, a.name) < std::tie(b.mtime, b.name);
+  });
+  std::size_t evicted = 0;
+  for (const Shard& shard : shards) {
+    if (total <= max_bytes_) break;
+    std::filesystem::remove(shard.path, ec);
+    if (ec) {
+      util::log_warn() << "payoff disk cache: cannot evict " << shard.name
+                       << ": " << ec.message();
+      continue;
+    }
+    total -= shard.bytes;
+    ++evicted;
+  }
+  if (evicted > 0) {
+    util::log_warn() << "payoff disk cache: evicted " << evicted
+                     << " oldest shard(s) to fit " << max_bytes_
+                     << " bytes in " << dir_;
+  }
+  return evicted;
 }
 
 }  // namespace pg::runtime

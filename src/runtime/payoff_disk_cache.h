@@ -37,8 +37,10 @@ namespace pg::runtime {
 class DiskPayoffCache {
  public:
   /// `dir` empty -> disabled. The directory is created lazily on the
-  /// first save().
-  explicit DiskPayoffCache(std::string dir) : dir_(std::move(dir)) {}
+  /// first save(). `max_bytes` caps the directory's total shard size
+  /// (0 = unbounded); enforce_max_bytes() applies it.
+  explicit DiskPayoffCache(std::string dir, std::uint64_t max_bytes = 0)
+      : dir_(std::move(dir)), max_bytes_(max_bytes) {}
 
   /// Directory from PG_CACHE_DIR (empty when unset -> disabled).
   [[nodiscard]] static std::string env_dir();
@@ -60,6 +62,17 @@ class DiskPayoffCache {
   /// filesystem refuses (logged, not thrown).
   std::size_t save(std::uint64_t shard, const PayoffCache& cache) const;
 
+  [[nodiscard]] std::uint64_t max_bytes() const noexcept { return max_bytes_; }
+
+  /// Evict oldest shards (by modification time, then filename for
+  /// same-stamp determinism) until the directory's total `payoff-*.pgpc`
+  /// size fits under max_bytes(). Returns the number of shard files
+  /// removed; 0 when disabled, uncapped, already within the cap, or the
+  /// filesystem refuses (logged, not thrown). The engine runs this once
+  /// after spilling, so a freshly-written shard is the newest and only
+  /// falls to the cap when it alone exceeds it.
+  std::size_t enforce_max_bytes() const;
+
   /// Serialize/deserialize the v1 format (exposed for tests).
   [[nodiscard]] static std::string encode(
       const std::vector<std::pair<std::uint64_t, double>>& entries);
@@ -70,6 +83,7 @@ class DiskPayoffCache {
 
  private:
   std::string dir_;
+  std::uint64_t max_bytes_ = 0;
 };
 
 }  // namespace pg::runtime

@@ -1,9 +1,11 @@
 #include "scenario/cli.h"
 
+#include <cstdlib>
 #include <fstream>
 #include <ostream>
 #include <sstream>
 
+#include "scenario/diff.h"
 #include "scenario/engine.h"
 #include "scenario/registry.h"
 #include "scenario/result.h"
@@ -18,6 +20,50 @@ std::string flag_value(const std::vector<std::string>& args, std::size_t& i,
                        const std::string& flag) {
   PG_CHECK(i + 1 < args.size(), flag + " requires a value");
   return args[++i];
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  PG_CHECK(static_cast<bool>(in), "cannot read " + path);
+  std::ostringstream text;
+  text << in.rdbuf();
+  return text.str();
+}
+
+/// `pg_run --compare baseline candidate`: structured regression diff.
+/// Exit 0 when every aligned value is within tolerance, 1 on drift or
+/// shape changes -- unless --update-baseline, which accepts the
+/// candidate by overwriting the baseline file and exits 0.
+int run_compare(const CliOptions& options, std::ostream& out,
+                std::ostream& err) {
+  const std::string baseline_text = read_file(options.compare_baseline);
+  const JsonValue baseline = parse_json(baseline_text);
+  const JsonValue candidate = parse_json(read_file(options.compare_candidate));
+
+  DiffOptions diff_options;
+  diff_options.tolerance = options.tolerance;
+  diff_options.ignore_timing = !options.with_timing;
+  const ResultDiff diff = diff_results(baseline, candidate, diff_options);
+
+  out << "comparing " << options.compare_baseline << " (baseline) vs "
+      << options.compare_candidate << " (candidate)\n";
+  write_diff_report(diff, diff_options, out);
+  if (diff.clean()) return 0;
+
+  if (options.update_baseline) {
+    std::ofstream file(options.compare_baseline,
+                       std::ios::binary | std::ios::trunc);
+    PG_CHECK(static_cast<bool>(file),
+             "cannot rewrite baseline " + options.compare_baseline);
+    file << read_file(options.compare_candidate);
+    PG_CHECK(static_cast<bool>(file),
+             "short write updating " + options.compare_baseline);
+    out << "baseline updated: " << options.compare_baseline << " now matches "
+        << options.compare_candidate << "\n";
+    return 0;
+  }
+  err << "error: results differ past tolerance (see report above)\n";
+  return 1;
 }
 
 }  // namespace
@@ -42,6 +88,28 @@ CliOptions parse_cli(const std::vector<std::string>& args) {
       PG_CHECK(eq != std::string::npos && eq > 0,
                "--set expects key=value, got '" + kv + "'");
       options.overrides.emplace_back(kv.substr(0, eq), kv.substr(eq + 1));
+    } else if (arg == "--sweep") {
+      // Appends one grid axis; see CliOptions for the "sweep+" marker.
+      options.overrides.emplace_back("sweep+", flag_value(args, i, arg));
+    } else if (arg == "--compare") {
+      options.compare = true;
+      options.compare_baseline = flag_value(args, i, arg);
+      options.compare_candidate = flag_value(args, i, "--compare <baseline>");
+    } else if (arg == "--tolerance") {
+      const std::string value = flag_value(args, i, arg);
+      char* end = nullptr;
+      options.tolerance = std::strtod(value.c_str(), &end);
+      PG_CHECK(!value.empty() && end != nullptr && *end == '\0' &&
+                   options.tolerance >= 0.0,
+               "--tolerance expects a non-negative number, got '" + value +
+                   "'");
+    } else if (arg == "--update-baseline") {
+      options.update_baseline = true;
+    } else if (arg == "--with-timing") {
+      options.with_timing = true;
+    } else if (arg == "--cache-max-bytes") {
+      options.overrides.emplace_back("cache_max_bytes",
+                                     flag_value(args, i, arg));
     } else if (arg == "--threads") {
       options.overrides.emplace_back("threads", flag_value(args, i, arg));
     } else if (arg == "--cache-dir") {
@@ -58,6 +126,11 @@ CliOptions parse_cli(const std::vector<std::string>& args) {
   }
   PG_CHECK(options.scenario.empty() || options.spec_file.empty(),
            "--scenario and --spec are mutually exclusive");
+  PG_CHECK(!options.compare ||
+               (options.scenario.empty() && options.spec_file.empty()),
+           "--compare does not combine with --scenario/--spec");
+  PG_CHECK(options.compare || !options.update_baseline,
+           "--update-baseline only applies to --compare");
   PG_CHECK(options.out_format == "text" || options.out_format == "json" ||
                options.out_format == "csv",
            "--out expects json, csv, or text");
@@ -72,15 +145,26 @@ std::string cli_usage() {
       "  pg_run --list                      show the scenario catalog\n"
       "  pg_run --scenario <name> [opts]    run a registered scenario\n"
       "  pg_run --spec <file> [opts]        run a key=value spec file\n"
+      "  pg_run --compare A.json B.json     diff two JSON result artifacts\n"
       "\n"
-      "options:\n"
+      "run options:\n"
       "  --set key=value   override one spec field (repeatable, last wins)\n"
+      "  --sweep CLAUSE    add a grid axis: key=lo..hi[:steps] (steps\n"
+      "                    default 5) or key=v1,v2,... (repeatable; the\n"
+      "                    run becomes the cross product of all axes,\n"
+      "                    merged into one result)\n"
       "  --threads N       executor width (0 = all cores, 1 = serial)\n"
       "  --cache-dir DIR   payoff disk-cache directory (default $PG_CACHE_DIR)\n"
+      "  --cache-max-bytes N  evict oldest disk-cache shards past N bytes\n"
       "  --no-cache        disable payoff memoization entirely\n"
       "  --out FORMAT      json | csv | text (default text)\n"
       "  --out-file PATH   write the sink there instead of stdout\n"
       "  --print-spec      print the resolved spec and exit\n"
+      "\n"
+      "compare options (regression triage; exits 1 past tolerance):\n"
+      "  --tolerance T       accept |a-b| <= T or relative delta <= T\n"
+      "  --update-baseline   overwrite A.json with B.json when they differ\n"
+      "  --with-timing       also compare _ms/_seconds wall-clock values\n"
       "\n"
       "Scenario sizes honor the historical PG_BENCH_* env knobs; --set\n"
       "overrides take precedence over both.\n";
@@ -101,22 +185,26 @@ int run_cli(const CliOptions& options, std::ostream& out, std::ostream& err) {
       return 0;
     }
 
+    if (options.compare) {
+      return run_compare(options, out, err);
+    }
+
     PG_CHECK(!options.scenario.empty() || !options.spec_file.empty(),
-             "nothing to run: pass --list, --scenario, or --spec\n" +
+             "nothing to run: pass --list, --scenario, --spec, or "
+             "--compare\n" +
                  cli_usage());
     ScenarioSpec spec;
     if (!options.scenario.empty()) {
       spec = ScenarioRegistry::instance().make(options.scenario);
     } else {
-      std::ifstream in(options.spec_file);
-      PG_CHECK(static_cast<bool>(in),
-               "cannot read spec file: " + options.spec_file);
-      std::ostringstream text;
-      text << in.rdbuf();
-      spec = ScenarioSpec::parse(text.str());
+      spec = ScenarioSpec::parse(read_file(options.spec_file));
     }
     for (const auto& [key, value] : options.overrides) {
-      spec.set(key, value);
+      if (key == "sweep+") {
+        spec.add_sweep(value);  // --sweep appends an axis
+      } else {
+        spec.set(key, value);
+      }
     }
 
     if (options.print_spec) {

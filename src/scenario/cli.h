@@ -19,11 +19,23 @@ struct CliOptions {
   std::string scenario;         // --scenario <name> (registry lookup)
   std::string spec_file;        // --spec <file> (parsed over defaults)
   /// --set key=value overrides, applied IN ORDER after the scenario /
-  /// spec-file resolution, so later flags win (--threads, --cache-dir and
-  /// --no-cache desugar to overrides too).
+  /// spec-file resolution, so later flags win (--threads, --cache-dir,
+  /// --no-cache and --cache-max-bytes desugar to overrides too).
+  /// `--sweep <clause>` desugars to the internal key "sweep+", which
+  /// APPENDS an axis instead of replacing the list -- so repeated
+  /// --sweep flags accumulate a grid, while `--set sweep=...` still
+  /// replaces/clears it, in flag order.
   std::vector<std::pair<std::string, std::string>> overrides;
   std::string out_format = "text";  // --out json|csv|text
   std::string out_file;             // --out-file <path>; empty = stdout
+
+  // ---- --compare mode (mutually exclusive with running a scenario) ----
+  bool compare = false;
+  std::string compare_baseline;   // --compare <baseline.json> <candidate.json>
+  std::string compare_candidate;
+  double tolerance = 0.0;         // --tolerance t (abs OR rel per value)
+  bool update_baseline = false;   // --update-baseline: accept the drift
+  bool with_timing = false;       // --with-timing: compare _ms/_seconds too
 };
 
 /// Parse argv (excluding argv[0]). Throws std::invalid_argument on

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <array>
 #include <cmath>
+#include <cstdlib>
 #include <deque>
 #include <fstream>
 #include <iostream>
@@ -33,6 +34,7 @@
 #include "runtime/payoff_evaluator.h"
 #include "runtime/rng_stream.h"
 #include "scenario/registry.h"
+#include "scenario/sweep.h"
 #include "sim/curve_fit.h"
 #include "sim/experiment.h"
 #include "sim/mixed_eval.h"
@@ -64,8 +66,9 @@ sim::ExperimentConfig experiment_config(const ScenarioSpec& spec) {
 /// traffic counters the result reports.
 class CacheBundle {
  public:
-  CacheBundle(bool memo, std::string dir)
-      : memo_(memo), disk_(memo ? std::move(dir) : std::string()) {}
+  CacheBundle(bool memo, std::string dir, std::uint64_t max_bytes)
+      : memo_(memo),
+        disk_(memo ? std::move(dir) : std::string(), max_bytes) {}
 
   /// The shard for one experiment context (created and disk-preloaded on
   /// first use). Returns nullptr when memoization is off -- callers pass
@@ -108,6 +111,10 @@ class CacheBundle {
     for (auto& [fp, cache] : shards_) {
       report.disk_entries_saved += disk_.save(fp, cache);
     }
+    report.disk_max_bytes = disk_.max_bytes();
+    // One eviction pass after all spills: the shards just written are
+    // the newest, so a cap evicts stale contexts first.
+    report.disk_shards_evicted = disk_.enforce_max_bytes();
   }
 
  private:
@@ -766,6 +773,74 @@ void run_micro_scenario(const ScenarioSpec& spec, runtime::Executor* exec,
   result.tables.push_back(std::move(table));
 }
 
+// ------------------------------------------------------------ sweep grids
+// A sweep-grid run executes every SweepPlan child through the same
+// runner dispatch, then folds the per-point results into ONE merged
+// ScenarioResult: every child table gains one leading coordinate column
+// per axis, same-shaped tables across points concatenate, and per-point
+// scalar metrics become rows of a "sweep_metrics" table keyed by the
+// same coordinates. One artifact carries the whole grid.
+
+/// Coordinate cells render as numbers when the value is numeric, so JSON
+/// consumers see `"epochs": 200`-style cells, not quoted strings.
+Value coordinate_value(const std::string& text) {
+  if (!text.empty()) {
+    char* end = nullptr;
+    const double v = std::strtod(text.c_str(), &end);
+    if (end != nullptr && *end == '\0') return Value(v);
+  }
+  return Value(text);
+}
+
+/// Find-or-create the merged table matching `name` + `columns` (tables
+/// only concatenate when their full schema agrees -- a swept `kind` axis
+/// can legitimately produce same-named tables with different columns).
+ResultTable& merged_table(ScenarioResult& merged, const std::string& name,
+                          const std::vector<std::string>& columns) {
+  for (ResultTable& table : merged.tables) {
+    if (table.name == name && table.columns == columns) return table;
+  }
+  merged.tables.push_back({name, columns, {}});
+  return merged.tables.back();
+}
+
+void merge_sweep_point(
+    const std::vector<std::pair<std::string, std::string>>& coords,
+    const ScenarioResult& point, ScenarioResult& merged) {
+  std::vector<Value> coord_cells;
+  std::vector<std::string> coord_columns;
+  coord_cells.reserve(coords.size());
+  coord_columns.reserve(coords.size());
+  for (const auto& [key, value] : coords) {
+    coord_columns.push_back(key);
+    coord_cells.push_back(coordinate_value(value));
+  }
+
+  {
+    std::vector<std::string> columns = coord_columns;
+    columns.push_back("metric");
+    columns.push_back("value");
+    ResultTable& metrics = merged_table(merged, "sweep_metrics", columns);
+    for (const auto& [key, value] : point.metrics) {
+      std::vector<Value> row = coord_cells;
+      row.emplace_back(key);
+      row.push_back(value);
+      metrics.rows.push_back(std::move(row));
+    }
+  }
+
+  for (const ResultTable& table : point.tables) {
+    std::vector<std::string> columns = coord_columns;
+    columns.insert(columns.end(), table.columns.begin(), table.columns.end());
+    ResultTable& target = merged_table(merged, table.name, columns);
+    for (const auto& row : table.rows) {
+      std::vector<Value> out = coord_cells;
+      out.insert(out.end(), row.begin(), row.end());
+      target.rows.push_back(std::move(out));
+    }
+  }
+}
+
 using RunnerFn = void (*)(const ScenarioSpec&, runtime::Executor*,
                           CacheBundle&, ScenarioResult&);
 
@@ -786,19 +861,53 @@ RunnerFn runner_for(const std::string& kind) {
 }  // namespace
 
 ScenarioResult run_scenario(const ScenarioSpec& spec) {
-  RunnerFn runner = runner_for(spec.kind);  // validates before any work
-  util::Stopwatch watch;
+  const SweepPlan plan(spec);  // parses + type-checks every sweep clause
 
+  // Validate every kind the run will dispatch BEFORE any work: the base
+  // kind, or -- when `kind` itself is a swept axis -- each axis value.
+  bool kind_swept = false;
+  for (const SweepAxis& axis : plan.axes()) {
+    if (axis.key != "kind") continue;
+    kind_swept = true;
+    for (const std::string& value : axis.values) (void)runner_for(value);
+  }
+  if (!kind_swept) (void)runner_for(spec.kind);
+
+  util::Stopwatch watch;
   const auto exec = sim::make_executor(spec.threads);
   const std::string cache_dir = !spec.cache_dir.empty()
                                     ? spec.cache_dir
                                     : runtime::DiskPayoffCache::env_dir();
-  CacheBundle bundle(spec.use_cache, cache_dir);
+  // ONE cache bundle for the whole grid: points sharing an experiment
+  // context (e.g. a solver-knob axis) reuse each other's retrains, and
+  // the disk spill/eviction pass runs once at the end.
+  CacheBundle bundle(spec.use_cache, cache_dir, spec.cache_max_bytes);
 
   ScenarioResult result;
   result.spec = spec;
   result.executor_threads = exec->concurrency();
-  runner(spec, exec.get(), bundle, result);
+
+  if (plan.empty()) {
+    runner_for(spec.kind)(spec, exec.get(), bundle, result);
+  } else {
+    result.sweep_axes = plan.axis_keys();
+    result.add_metric("sweep_points", plan.size());
+    for (std::size_t i = 0; i < plan.size(); ++i) {
+      const ScenarioSpec child = plan.child(i);
+      ScenarioResult point;
+      point.spec = child;
+      if (child.threads != spec.threads) {
+        // `threads` is itself a swept axis: this point gets its own
+        // executor (results are thread-count-invariant, so the grid
+        // stays bit-identical either way).
+        const auto child_exec = sim::make_executor(child.threads);
+        runner_for(child.kind)(child, child_exec.get(), bundle, point);
+      } else {
+        runner_for(child.kind)(child, exec.get(), bundle, point);
+      }
+      merge_sweep_point(plan.coordinates(i), point, result);
+    }
+  }
   bundle.finish(result.cache);
   result.elapsed_seconds = watch.elapsed_seconds();
   return result;

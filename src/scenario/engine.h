@@ -2,7 +2,11 @@
 //
 // run_scenario resolves the spec's execution envelope (executor width,
 // cache layers), dispatches on `spec.kind` to the matching runner, and
-// returns a structured ScenarioResult. Each runner drives the same sim/
+// returns a structured ScenarioResult. When the spec carries `sweep`
+// axes (scenario/sweep.h) the engine instead expands the cross-product
+// grid and runs every point through the same dispatch -- one executor,
+// one shared cache bundle -- then merges the per-point results into a
+// single ScenarioResult whose tables lead with the axis coordinates. Each runner drives the same sim/
 // and core/ entry points the legacy bench binaries called with the same
 // parameters and seeds, so at a fixed seed the numbers are bit-identical
 // to the pre-refactor benches -- and bit-identical at 1 vs N threads,

@@ -90,6 +90,12 @@ void write_json(const ScenarioResult& result, std::ostream& out) {
   out << "  \"threads\": " << result.executor_threads << ",\n";
   out << "  \"elapsed_seconds\": " << format_number(result.elapsed_seconds)
       << ",\n";
+  out << "  \"sweep_axes\": [";
+  for (std::size_t i = 0; i < result.sweep_axes.size(); ++i) {
+    if (i > 0) out << ", ";
+    out << '"' << json_escape(result.sweep_axes[i]) << '"';
+  }
+  out << "],\n";
   out << "  \"cache\": {\"enabled\": "
       << (result.cache.enabled ? "true" : "false")
       << ", \"disk_enabled\": " << (result.cache.disk_enabled ? "true" : "false")
@@ -100,6 +106,8 @@ void write_json(const ScenarioResult& result, std::ostream& out) {
       << ", \"cache_hits\": " << result.cache.cache_hits
       << ", \"disk_entries_loaded\": " << result.cache.disk_entries_loaded
       << ", \"disk_entries_saved\": " << result.cache.disk_entries_saved
+      << ", \"disk_max_bytes\": " << result.cache.disk_max_bytes
+      << ", \"disk_shards_evicted\": " << result.cache.disk_shards_evicted
       << "},\n";
   out << "  \"metrics\": {";
   for (std::size_t i = 0; i < result.metrics.size(); ++i) {
@@ -135,6 +143,13 @@ void write_json(const ScenarioResult& result, std::ostream& out) {
 
 void write_csv(const ScenarioResult& result, std::ostream& out) {
   out << "# scenario," << csv_escape(result.spec.name) << "\n";
+  if (!result.sweep_axes.empty()) {
+    out << "# sweep_axes";
+    for (const std::string& axis : result.sweep_axes) {
+      out << "," << csv_escape(axis);
+    }
+    out << "\n";
+  }
   out << "metric,value\n";
   out << "threads," << result.executor_threads << "\n";
   out << "elapsed_seconds," << format_number(result.elapsed_seconds) << "\n";
@@ -143,6 +158,7 @@ void write_csv(const ScenarioResult& result, std::ostream& out) {
   out << "cache_hits," << result.cache.cache_hits << "\n";
   out << "disk_entries_loaded," << result.cache.disk_entries_loaded << "\n";
   out << "disk_entries_saved," << result.cache.disk_entries_saved << "\n";
+  out << "disk_shards_evicted," << result.cache.disk_shards_evicted << "\n";
   for (const auto& [key, value] : result.metrics) {
     out << csv_escape(key) << "," << csv_escape(value.render()) << "\n";
   }
@@ -171,6 +187,11 @@ void write_text(const ScenarioResult& result, std::ostream& out) {
   out << "scenario: " << result.spec.name << " (kind " << result.spec.kind
       << ")\n";
   out << "executor threads: " << result.executor_threads << "\n";
+  if (!result.sweep_axes.empty()) {
+    out << "sweep axes:";
+    for (const std::string& axis : result.sweep_axes) out << " " << axis;
+    out << "\n";
+  }
   for (const auto& [key, value] : result.metrics) {
     out << key << ": " << value.render() << "\n";
   }
@@ -192,6 +213,11 @@ void write_text(const ScenarioResult& result, std::ostream& out) {
     if (result.cache.disk_enabled) {
       out << ", " << result.cache.disk_entries_loaded
           << " entries loaded from disk (" << result.cache.disk_dir << ")";
+      if (result.cache.disk_shards_evicted > 0) {
+        out << ", " << result.cache.disk_shards_evicted
+            << " shard(s) evicted to fit " << result.cache.disk_max_bytes
+            << " bytes";
+      }
     }
     out << "\n";
   }

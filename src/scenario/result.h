@@ -11,11 +11,13 @@
 // Determinism note: everything in a result is bit-identical across runs
 // and thread counts EXCEPT the fields that measure wall-clock time. By
 // convention those live in columns/metrics whose name ends in "_ms" or
-// "_seconds" (plus the top-level elapsed_seconds), so a comparison tool
-// can strip timing by name -- tests/scenario_test.cpp does.
+// "_seconds", or contains "speedup" (a ratio of wall-clock times), plus
+// the top-level elapsed_seconds -- so a comparison tool can strip timing
+// by name; tests/scenario_test.cpp and scenario/diff.cpp both do.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <iosfwd>
 #include <string>
 #include <utility>
@@ -71,12 +73,19 @@ struct CacheReport {
   std::size_t cache_hits = 0;
   std::size_t disk_entries_loaded = 0;
   std::size_t disk_entries_saved = 0;
+  std::uint64_t disk_max_bytes = 0;  // 0 = unbounded
+  std::size_t disk_shards_evicted = 0;
 };
 
 struct ScenarioResult {
   ScenarioSpec spec;
   std::size_t executor_threads = 0;
   double elapsed_seconds = 0.0;
+  /// Sweep-grid runs only: the axis keys, in declaration order. Each
+  /// table then leads with one coordinate column per axis, so a sink
+  /// consumer (or the --compare differ) can align rows across runs by
+  /// their grid coordinates. Empty for single-point runs.
+  std::vector<std::string> sweep_axes;
   /// Ordered scalar facts (corpus sizes, derived claims, ...).
   std::vector<std::pair<std::string, Value>> metrics;
   std::vector<ResultTable> tables;

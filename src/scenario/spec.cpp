@@ -1,11 +1,12 @@
 #include "scenario/spec.h"
 
-#include <cctype>
 #include <cstdlib>
 #include <sstream>
 #include <type_traits>
 
+#include "scenario/sweep.h"
 #include "util/error.h"
+#include "util/strings.h"
 #include "util/table.h"
 
 namespace pg::scenario {
@@ -39,6 +40,29 @@ void set_field(ScenarioSpec& spec, const std::string& key,
   } else {
     slot = static_cast<T>(parse_u64(key, value));
   }
+}
+
+// The `sweep` key is list-valued: set() replaces the whole axis list
+// with the `;`-separated clauses it is given (so --set stays last-wins),
+// get() joins the normalized clauses back with "; ". Appending happens
+// in parse() (repeated `sweep` lines) and through add_sweep().
+void set_sweep_field(ScenarioSpec& spec, const std::string& key,
+                     const std::string& value) {
+  (void)key;
+  // Parse into a scratch spec first: a malformed clause must leave the
+  // target's axis list untouched, not half-replaced.
+  ScenarioSpec scratch;
+  scratch.add_sweep(value);
+  spec.sweeps = std::move(scratch.sweeps);
+}
+
+std::string get_sweep_field(const ScenarioSpec& spec) {
+  std::string out;
+  for (std::size_t i = 0; i < spec.sweeps.size(); ++i) {
+    if (i > 0) out += "; ";
+    out += spec.sweeps[i];
+  }
+  return out;
 }
 
 template <auto Member>
@@ -76,6 +100,7 @@ const std::vector<Field>& field_table() {
       PG_SPEC_FIELD(sweep_max),
       PG_SPEC_FIELD(sweep_steps),
       PG_SPEC_FIELD(replications),
+      Field{"sweep", &set_sweep_field, &get_sweep_field},
       PG_SPEC_FIELD(draws),
       PG_SPEC_FIELD(support_min),
       PG_SPEC_FIELD(support_max),
@@ -90,6 +115,7 @@ const std::vector<Field>& field_table() {
       PG_SPEC_FIELD(threads),
       PG_SPEC_FIELD(use_cache),
       PG_SPEC_FIELD(cache_dir),
+      PG_SPEC_FIELD(cache_max_bytes),
   };
   return table;
 }
@@ -104,13 +130,7 @@ const Field& find_field(const std::string& key) {
   return field_table().front();  // unreachable
 }
 
-std::string trim(const std::string& s) {
-  std::size_t lo = 0;
-  std::size_t hi = s.size();
-  while (lo < hi && std::isspace(static_cast<unsigned char>(s[lo]))) ++lo;
-  while (hi > lo && std::isspace(static_cast<unsigned char>(s[hi - 1]))) --hi;
-  return s.substr(lo, hi - lo);
-}
+std::string trim(const std::string& s) { return util::trim_whitespace(s); }
 
 /// Strip the JSON-ish decorations a line may carry: a trailing comma and
 /// one layer of double quotes around the token.
@@ -165,6 +185,22 @@ std::string ScenarioSpec::get(const std::string& key) const {
   return find_field(key).get(*this);
 }
 
+void ScenarioSpec::add_sweep(const std::string& clauses) {
+  // Validate every clause before appending any (strong guarantee: a
+  // throw leaves `sweeps` unchanged). parse_sweep_clause checks the key
+  // and grammar and returns the normalized clause text, so to_text()
+  // prints a canonical form.
+  std::vector<std::string> parsed;
+  std::string item;
+  std::istringstream in(clauses);
+  while (std::getline(in, item, ';')) {
+    item = trim(item);
+    if (item.empty()) continue;
+    parsed.push_back(parse_sweep_clause(item).clause);
+  }
+  sweeps.insert(sweeps.end(), parsed.begin(), parsed.end());
+}
+
 std::vector<std::string> ScenarioSpec::keys() {
   std::vector<std::string> out;
   out.reserve(field_table().size());
@@ -209,7 +245,11 @@ ScenarioSpec ScenarioSpec::parse(const std::string& text) {
     const std::string value = strip_jsonish(line.substr(sep + 1));
     PG_CHECK(!key.empty(), "ScenarioSpec parse: empty key on line " +
                                std::to_string(line_no));
-    spec.set(key, value);
+    if (key == "sweep") {
+      spec.add_sweep(value);  // repeatable: each line appends axes
+    } else {
+      spec.set(key, value);
+    }
   }
   return spec;
 }

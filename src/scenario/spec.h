@@ -11,6 +11,7 @@
 //     kind = pure_sweep
 //     instances = 700
 //     "epochs": 40,          <- JSON-ish spellings tolerated
+//     sweep = seed=1,2,3     <- repeatable: each line adds one grid axis
 //
 // Unknown keys and malformed values throw std::invalid_argument, so a
 // typo'd spec file fails loudly instead of silently running the default.
@@ -45,6 +46,14 @@ struct ScenarioSpec {
   double sweep_max = 0.40;
   std::size_t sweep_steps = 9;
   std::size_t replications = 2;
+  /// Generic grid axes (normalized `key=range-or-list` clauses, see
+  /// scenario/sweep.h). Non-empty turns the run into a cross-product grid
+  /// executed as one engine loop. In spec text the key is `sweep` and the
+  /// line is repeatable (each line appends one axis); `set("sweep", ...)`
+  /// replaces the whole list with the `;`-separated clauses it is given
+  /// (empty clears), so `--set sweep=...` stays last-wins like every
+  /// other override.
+  std::vector<std::string> sweeps;
 
   // ---- mixed-strategy evaluation ------------------------------------
   std::size_t draws = 3;
@@ -71,6 +80,10 @@ struct ScenarioSpec {
   /// Disk spill directory; empty defers to $PG_CACHE_DIR (and disables
   /// the disk layer when that is unset too).
   std::string cache_dir;
+  /// Cap on the disk cache directory's total shard bytes; 0 = unbounded.
+  /// When a run's spills push the directory past the cap, the oldest
+  /// shards (by modification time) are evicted until it fits.
+  std::size_t cache_max_bytes = 0;
 
   // ---- uniform field access -----------------------------------------
   /// Assign one field from its string form. Throws std::invalid_argument
@@ -80,6 +93,12 @@ struct ScenarioSpec {
   [[nodiscard]] std::string get(const std::string& key) const;
   /// Every settable key, in declaration order.
   [[nodiscard]] static std::vector<std::string> keys();
+
+  /// Append sweep axes: `clauses` is one clause or a `;`-separated list.
+  /// Each clause is validated and normalized through
+  /// scenario/sweep.h's parse_sweep_clause, so malformed ranges and
+  /// unknown axis keys throw here, at spec-build time.
+  void add_sweep(const std::string& clauses);
 
   /// Serialize as key=value lines (all fields, declaration order).
   [[nodiscard]] std::string to_text() const;

@@ -1,0 +1,18 @@
+// Small string helpers shared across the library's parsers.
+#pragma once
+
+#include <cctype>
+#include <string>
+
+namespace pg::util {
+
+/// Copy of `s` with leading/trailing ASCII whitespace removed.
+[[nodiscard]] inline std::string trim_whitespace(const std::string& s) {
+  std::size_t lo = 0;
+  std::size_t hi = s.size();
+  while (lo < hi && std::isspace(static_cast<unsigned char>(s[lo]))) ++lo;
+  while (hi > lo && std::isspace(static_cast<unsigned char>(s[hi - 1]))) --hi;
+  return s.substr(lo, hi - lo);
+}
+
+}  // namespace pg::util

@@ -10,6 +10,7 @@
 #include <chrono>
 #include <cstdint>
 #include <filesystem>
+#include <fstream>
 #include <mutex>
 #include <set>
 #include <stdexcept>
@@ -558,6 +559,80 @@ TEST(DiskPayoffCacheTest, SaveLoadRoundTripsAcrossCaches) {
     // Different shard: untouched.
     runtime::PayoffCache other;
     EXPECT_EQ(disk.load(78, other), 0u);
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST(DiskPayoffCacheTest, UnwritableDirDegradesToColdRun) {
+  // The cache dir path sits UNDER a regular file, so create_directories
+  // and every open fail no matter the uid. Nothing may throw: save/load
+  // report zero traffic and the caller just runs cold.
+  const std::string base =
+      (std::filesystem::temp_directory_path() / "pg_disk_cache_unwritable")
+          .string();
+  std::filesystem::remove_all(base);
+  std::filesystem::create_directories(base);
+  { std::ofstream blocker(base + "/blocker"); blocker << "x"; }
+
+  runtime::DiskPayoffCache disk(base + "/blocker/cache");
+  EXPECT_TRUE(disk.enabled());  // configured, just not writable
+  runtime::PayoffCache cache;
+  cache.store(1, 0.5);
+  EXPECT_NO_THROW({
+    EXPECT_EQ(disk.save(42, cache), 0u);
+    EXPECT_EQ(disk.load(42, cache), 0u);
+    EXPECT_EQ(disk.enforce_max_bytes(), 0u);
+  });
+  std::filesystem::remove_all(base);
+}
+
+TEST(DiskPayoffCacheTest, EnforceMaxBytesEvictsOldestShards) {
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "pg_disk_cache_evict")
+          .string();
+  std::filesystem::remove_all(dir);
+  {
+    runtime::PayoffCache cache;
+    for (std::uint64_t k = 0; k < 8; ++k) cache.store(k, 0.5);
+    // Three shards of identical size, with explicit mtimes so the
+    // oldest-first order is unambiguous even on coarse filesystems.
+    runtime::DiskPayoffCache writer(dir);
+    ASSERT_EQ(writer.save(1, cache), 8u);
+    ASSERT_EQ(writer.save(2, cache), 8u);
+    ASSERT_EQ(writer.save(3, cache), 8u);
+    const auto now = std::filesystem::file_time_type::clock::now();
+    using std::chrono::hours;
+    std::filesystem::last_write_time(writer.shard_path(1), now - hours(3));
+    std::filesystem::last_write_time(writer.shard_path(2), now - hours(2));
+    std::filesystem::last_write_time(writer.shard_path(3), now - hours(1));
+
+    const auto shard_bytes = std::filesystem::file_size(writer.shard_path(1));
+
+    // Uncapped: nothing happens.
+    EXPECT_EQ(writer.enforce_max_bytes(), 0u);
+
+    // Cap fits exactly two shards: the oldest (shard 1) goes.
+    runtime::DiskPayoffCache capped(dir, 2 * shard_bytes);
+    EXPECT_EQ(capped.enforce_max_bytes(), 1u);
+    EXPECT_FALSE(std::filesystem::exists(capped.shard_path(1)));
+    EXPECT_TRUE(std::filesystem::exists(capped.shard_path(2)));
+    EXPECT_TRUE(std::filesystem::exists(capped.shard_path(3)));
+    // Already within the cap: idempotent.
+    EXPECT_EQ(capped.enforce_max_bytes(), 0u);
+
+    // Tighter cap than any single shard: everything must go -- the cap
+    // is a hard bound, not a suggestion.
+    runtime::DiskPayoffCache tiny(dir, shard_bytes / 2);
+    EXPECT_EQ(tiny.enforce_max_bytes(), 2u);
+    EXPECT_FALSE(std::filesystem::exists(tiny.shard_path(2)));
+    EXPECT_FALSE(std::filesystem::exists(tiny.shard_path(3)));
+
+    // Foreign files in the directory are never candidates.
+    { std::ofstream foreign(dir + "/notes.txt"); foreign << "keep me"; }
+    ASSERT_EQ(writer.save(4, cache), 8u);
+    runtime::DiskPayoffCache zero(dir, 1);
+    EXPECT_EQ(zero.enforce_max_bytes(), 1u);
+    EXPECT_TRUE(std::filesystem::exists(dir + "/notes.txt"));
   }
   std::filesystem::remove_all(dir);
 }

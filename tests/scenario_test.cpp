@@ -5,19 +5,23 @@
 // payoffs, graceful corruption fallback).
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <random>
 #include <sstream>
 #include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "scenario/cli.h"
+#include "scenario/diff.h"
 #include "scenario/engine.h"
 #include "scenario/registry.h"
 #include "scenario/result.h"
 #include "scenario/spec.h"
+#include "scenario/sweep.h"
 #include "sim/experiment.h"
 #include "sim/pure_sweep.h"
 
@@ -227,7 +231,19 @@ std::vector<std::string> comparable_cells(const ScenarioResult& result) {
     if (!timing_column(key)) cells.push_back(key + "=" + value.render());
   }
   for (const ResultTable& table : result.tables) {
+    // In merged sweep tables, per-point metrics appear as rows keyed by
+    // a "metric" column; a timing metric is then wall-clock data in row
+    // form and is skipped like a timing column.
+    std::size_t metric_column = table.columns.size();
+    for (std::size_t c = 0; c < table.columns.size(); ++c) {
+      if (table.columns[c] == "metric") metric_column = c;
+    }
     for (const auto& row : table.rows) {
+      if (metric_column < row.size() &&
+          !row[metric_column].is_number() &&
+          timing_column(row[metric_column].text())) {
+        continue;
+      }
       for (std::size_t c = 0; c < row.size(); ++c) {
         if (timing_column(table.columns[c])) continue;
         cells.push_back(table.name + "." + table.columns[c] + "=" +
@@ -376,6 +392,585 @@ TEST(SinkTest, JsonIsMachineReadableAndCarriesCacheStats) {
 
   std::ostringstream sink;
   EXPECT_THROW(write_result(result, "xml", sink), std::invalid_argument);
+}
+
+// ----------------------------------------------------------------- sweep
+
+TEST(SweepTest, ParsesRangeAndListClauses) {
+  const SweepAxis range = parse_sweep_clause("epochs=100..500:5");
+  EXPECT_EQ(range.key, "epochs");
+  EXPECT_EQ(range.values,
+            (std::vector<std::string>{"100", "200", "300", "400", "500"}));
+  EXPECT_EQ(range.clause, "epochs=100..500:5");
+
+  // Steps default to 5 and the normalized clause spells them out.
+  EXPECT_EQ(parse_sweep_clause("epochs=0..400").clause, "epochs=0..400:5");
+
+  const SweepAxis frac = parse_sweep_clause("sweep_max=0.1..0.4:4");
+  EXPECT_EQ(frac.values,
+            (std::vector<std::string>{"0.1", "0.2", "0.30000000000000004",
+                                      "0.4"}));
+
+  const SweepAxis list = parse_sweep_clause(" seed = 1, 2,3 ");
+  EXPECT_EQ(list.key, "seed");
+  EXPECT_EQ(list.values, (std::vector<std::string>{"1", "2", "3"}));
+  EXPECT_EQ(list.clause, "seed=1,2,3");
+
+  // Strings sweep through the list form.
+  EXPECT_EQ(parse_sweep_clause("lp_pricing=bland,dantzig").values.size(), 2u);
+}
+
+TEST(SweepTest, RejectsMalformedClausesLoudly) {
+  EXPECT_THROW((void)parse_sweep_clause("epochs"), std::invalid_argument);
+  EXPECT_THROW((void)parse_sweep_clause("=1,2"), std::invalid_argument);
+  EXPECT_THROW((void)parse_sweep_clause("no_such_key=1,2"),
+               std::invalid_argument);
+  EXPECT_THROW((void)parse_sweep_clause("epochs="), std::invalid_argument);
+  EXPECT_THROW((void)parse_sweep_clause("epochs=1,,3"),
+               std::invalid_argument);
+  EXPECT_THROW((void)parse_sweep_clause("epochs=1..x:3"),
+               std::invalid_argument);
+  EXPECT_THROW((void)parse_sweep_clause("epochs=1..9:1"),
+               std::invalid_argument);
+  EXPECT_THROW((void)parse_sweep_clause("epochs=1..9:banana"),
+               std::invalid_argument);
+  EXPECT_THROW((void)parse_sweep_clause("sweep=1,2"), std::invalid_argument);
+  // Run-wide envelope keys can never vary per point: reject, don't emit
+  // a mislabeled grid.
+  for (const char* fixed :
+       {"use_cache=true,false", "cache_dir=a,b", "cache_max_bytes=1,2",
+        "name=a,b", "description=a,b"}) {
+    EXPECT_THROW((void)parse_sweep_clause(fixed), std::invalid_argument)
+        << fixed;
+  }
+}
+
+TEST(SweepTest, PlanExpandsCrossProductRowMajor) {
+  ScenarioSpec spec = tiny_spec("pure_sweep");
+  spec.add_sweep("epochs=10..20:3");
+  spec.add_sweep("seed=1,2");
+  const SweepPlan plan(spec);
+  ASSERT_EQ(plan.axes().size(), 2u);
+  EXPECT_EQ(plan.size(), 6u);
+  EXPECT_EQ(plan.axis_keys(), (std::vector<std::string>{"epochs", "seed"}));
+
+  // Last axis fastest: (10,1), (10,2), (15,1), ...
+  const auto c0 = plan.coordinates(0);
+  const auto c1 = plan.coordinates(1);
+  const auto c2 = plan.coordinates(2);
+  EXPECT_EQ(c0[0].second, "10");
+  EXPECT_EQ(c0[1].second, "1");
+  EXPECT_EQ(c1[0].second, "10");
+  EXPECT_EQ(c1[1].second, "2");
+  EXPECT_EQ(c2[0].second, "15");
+
+  const ScenarioSpec child = plan.child(3);
+  EXPECT_EQ(child.epochs, 15u);
+  EXPECT_EQ(child.seed, 2u);
+  EXPECT_TRUE(child.sweeps.empty()) << "children must be leaf specs";
+
+  // Duplicate axes and type-invalid values fail at plan time.
+  ScenarioSpec dup = spec;
+  dup.add_sweep("seed=7,8");
+  EXPECT_THROW((void)SweepPlan(dup), std::invalid_argument);
+  ScenarioSpec bad = tiny_spec("pure_sweep");
+  bad.add_sweep("epochs=0.5,1.5");  // integer field, fractional values
+  EXPECT_THROW((void)SweepPlan(bad), std::invalid_argument);
+}
+
+TEST(SpecTest, SweepLinesAppendAndSetReplaces) {
+  const ScenarioSpec spec = ScenarioSpec::parse(
+      "kind = pure_sweep\n"
+      "sweep = epochs=10..20:3\n"
+      "sweep = seed=1,2\n");
+  EXPECT_EQ(spec.sweeps,
+            (std::vector<std::string>{"epochs=10..20:3", "seed=1,2"}));
+
+  // to_text round-trips the axis list exactly.
+  const ScenarioSpec reparsed = ScenarioSpec::parse(spec.to_text());
+  EXPECT_EQ(reparsed.to_text(), spec.to_text());
+  EXPECT_EQ(reparsed.sweeps, spec.sweeps);
+
+  // set() replaces the whole list (last --set wins); empty clears.
+  ScenarioSpec replaced = spec;
+  replaced.set("sweep", "draws=1,2; instances=100,200");
+  EXPECT_EQ(replaced.sweeps,
+            (std::vector<std::string>{"draws=1,2", "instances=100,200"}));
+  replaced.set("sweep", "");
+  EXPECT_TRUE(replaced.sweeps.empty());
+
+  // A rejected override must leave the axis list untouched -- neither
+  // cleared nor half-replaced (strong guarantee).
+  ScenarioSpec guarded = spec;
+  EXPECT_THROW(guarded.set("sweep", "draws=1,2; nope=1..2:2"),
+               std::invalid_argument);
+  EXPECT_EQ(guarded.sweeps, spec.sweeps);
+  EXPECT_THROW(guarded.add_sweep("draws=1,2; nope=3,4"),
+               std::invalid_argument);
+  EXPECT_EQ(guarded.sweeps, spec.sweeps);
+}
+
+// Property test: randomized specs (including sweep axes) must round-trip
+// parse(to_text()) to the identical text, and malformed input must throw
+// rather than fall back to a default.
+TEST(SpecTest, FuzzedSpecsRoundTripExactly) {
+  std::mt19937_64 rng(20260730u);
+  const auto pick = [&rng](std::size_t n) {
+    return static_cast<std::size_t>(rng() % n);
+  };
+  // Charset avoids what the line format reserves: newlines, '"' (quote
+  // stripping), '#' (comments), ';' (sweep separator) -- and values are
+  // generated with non-space, non-comma edges so trimming and the
+  // JSON-ish trailing-comma strip cannot alter them.
+  const std::string mid_chars =
+      "abcdefghijklmnopqrstuvwxyzABCXYZ0123456789_-./:=(), ";
+  const std::string edge_chars = "abcdefghijklmnopqrstuvwxyz0123456789_";
+  const auto rand_string = [&] {
+    const std::size_t len = pick(18);
+    std::string s;
+    for (std::size_t i = 0; i < len; ++i) {
+      const bool edge = i == 0 || i + 1 == len;
+      const std::string& chars = edge ? edge_chars : mid_chars;
+      s.push_back(chars[pick(chars.size())]);
+    }
+    return s;
+  };
+  const auto rand_double = [&]() -> double {
+    switch (pick(4)) {
+      case 0: return static_cast<double>(pick(1000)) / 8.0;  // exact dyadic
+      case 1: return 0.1 * static_cast<double>(pick(10));    // repeating
+      case 2: return std::ldexp(static_cast<double>(rng() % (1ULL << 53)),
+                                static_cast<int>(pick(60)) - 30);
+      default: return static_cast<double>(pick(7));
+    }
+  };
+
+  for (int iter = 0; iter < 200; ++iter) {
+    ScenarioSpec spec;
+    spec.name = rand_string();
+    spec.kind = rand_string();
+    spec.description = rand_string();
+    spec.seed = rng();
+    spec.instances = pick(100000);
+    spec.epochs = pick(1000);
+    spec.train_fraction = rand_double();
+    spec.poison_fraction = rand_double();
+    spec.class_separation = rand_double();
+    spec.real_corpus = pick(2) == 0;
+    spec.sweep_max = rand_double();
+    spec.sweep_steps = pick(64);
+    spec.replications = pick(8);
+    spec.attacks = rand_string();
+    spec.defenses = rand_string();
+    spec.lp_pricing = rand_string();
+    spec.threads = pick(16);
+    spec.use_cache = pick(2) == 0;
+    spec.cache_dir = rand_string();
+    spec.cache_max_bytes = rng() % (1ULL << 40);
+    const std::size_t n_axes = pick(3);
+    const char* axis_keys[] = {"epochs", "seed", "train_fraction", "draws"};
+    for (std::size_t a = 0; a < n_axes; ++a) {
+      const std::string key = axis_keys[a];
+      if (pick(2) == 0) {
+        spec.add_sweep(key + "=" + std::to_string(pick(50)) + ".." +
+                       std::to_string(50 + pick(50)) + ":" +
+                       std::to_string(2 + pick(4)));
+      } else {
+        spec.add_sweep(key + "=" + std::to_string(pick(100)) + "," +
+                       std::to_string(pick(100)));
+      }
+    }
+
+    const std::string text = spec.to_text();
+    const ScenarioSpec parsed = ScenarioSpec::parse(text);
+    ASSERT_EQ(parsed.to_text(), text) << "iteration " << iter;
+    ASSERT_EQ(parsed.sweeps, spec.sweeps) << "iteration " << iter;
+    ASSERT_EQ(parsed.seed, spec.seed) << "iteration " << iter;
+    ASSERT_EQ(parsed.train_fraction, spec.train_fraction)
+        << "iteration " << iter;
+  }
+
+  // Malformed inputs: unknown keys, bad values, bad sweep clauses --
+  // every one must throw, never parse to a silent default.
+  ScenarioSpec probe;
+  for (int iter = 0; iter < 100; ++iter) {
+    const std::string junk = rand_string();
+    if (junk.empty()) continue;
+    bool known = false;
+    for (const std::string& key : ScenarioSpec::keys()) known |= key == junk;
+    if (known) continue;
+    EXPECT_THROW(probe.set(junk, "1"), std::invalid_argument)
+        << "unknown key '" << junk << "' must be rejected";
+  }
+  const char* malformed[] = {
+      "instances = 12abc",    "epochs = -3",
+      "sweep_max = one",      "use_cache = maybe",
+      "sweep = epochs",       "sweep = epochs=1..",
+      "sweep = epochs=1..9:0", "sweep = wat=1,2",
+      "cache_max_bytes = big",
+  };
+  for (const char* line : malformed) {
+    EXPECT_THROW((void)ScenarioSpec::parse(line), std::invalid_argument)
+        << line;
+  }
+}
+
+TEST(EngineTest, TwoAxisSweepRunsAsOneGrid) {
+  ScenarioSpec spec = tiny_spec("pure_sweep");
+  spec.add_sweep("epochs=10..20:3");
+  spec.add_sweep("seed=1,2");
+  const ScenarioResult grid = run_scenario(spec);
+
+  EXPECT_EQ(grid.sweep_axes, (std::vector<std::string>{"epochs", "seed"}));
+  ASSERT_FALSE(grid.metrics.empty());
+  EXPECT_EQ(grid.metrics[0].first, "sweep_points");
+  EXPECT_EQ(grid.metrics[0].second.number(), 6.0);
+
+  // Every child table gained the two coordinate columns and the six
+  // points' rows concatenated: 6 points x sweep_steps grid rows.
+  const ResultTable* sweep_table = nullptr;
+  const ResultTable* metrics_table = nullptr;
+  for (const ResultTable& table : grid.tables) {
+    if (table.name == "pure_sweep") sweep_table = &table;
+    if (table.name == "sweep_metrics") metrics_table = &table;
+  }
+  ASSERT_NE(sweep_table, nullptr);
+  ASSERT_NE(metrics_table, nullptr);
+  ASSERT_GE(sweep_table->columns.size(), 2u);
+  EXPECT_EQ(sweep_table->columns[0], "epochs");
+  EXPECT_EQ(sweep_table->columns[1], "seed");
+  EXPECT_EQ(sweep_table->rows.size(), 6u * spec.sweep_steps);
+  // Point (epochs=15, seed=2) really ran at those knobs: its rows carry
+  // exactly those coordinates.
+  std::size_t matching = 0;
+  for (const auto& row : sweep_table->rows) {
+    if (row[0].number() == 15.0 && row[1].number() == 2.0) ++matching;
+  }
+  EXPECT_EQ(matching, spec.sweep_steps);
+  EXPECT_EQ(metrics_table->columns.back(), "value");
+
+  // The whole grid is bit-identical at 1 vs N threads.
+  ScenarioSpec threaded = spec;
+  threaded.threads = 3;
+  EXPECT_EQ(comparable_cells(grid), comparable_cells(run_scenario(threaded)));
+
+  // A grid point identical to a plain run produces that run's numbers:
+  // the merged artifact is a concatenation, not a reinterpretation.
+  ScenarioSpec single = tiny_spec("pure_sweep");
+  single.epochs = 10;
+  single.seed = 1;
+  const ScenarioResult lone = run_scenario(single);
+  const ResultTable& lone_table = lone.tables[0];
+  ASSERT_EQ(lone_table.name, "pure_sweep");
+  for (std::size_t r = 0; r < lone_table.rows.size(); ++r) {
+    for (std::size_t c = 0; c < lone_table.columns.size(); ++c) {
+      EXPECT_EQ(sweep_table->rows[r][c + 2].render(),
+                lone_table.rows[r][c].render());
+    }
+  }
+}
+
+TEST(EngineTest, SweepingThreadsStaysBitIdentical) {
+  ScenarioSpec spec = tiny_spec("pure_sweep");
+  spec.add_sweep("threads=1,3");
+  const ScenarioResult grid = run_scenario(spec);
+  // The two points differ ONLY in their coordinate column.
+  const ResultTable* table = nullptr;
+  for (const ResultTable& t : grid.tables) {
+    if (t.name == "pure_sweep") table = &t;
+  }
+  ASSERT_NE(table, nullptr);
+  const std::size_t half = table->rows.size() / 2;
+  ASSERT_EQ(table->rows.size(), 2 * half);
+  for (std::size_t r = 0; r < half; ++r) {
+    for (std::size_t c = 1; c < table->columns.size(); ++c) {
+      EXPECT_EQ(table->rows[r][c].render(),
+                table->rows[r + half][c].render());
+    }
+  }
+}
+
+// ------------------------------------------------------------------ diff
+
+namespace {
+
+/// A tiny single-run artifact in the JSON sink's shape.
+std::string artifact(double accuracy, double time_ms = 1.0,
+                     const char* extra_metric = nullptr) {
+  std::ostringstream os;
+  os << "{\"scenario\": \"t\", \"kind\": \"pure_sweep\", \"threads\": 2,\n"
+     << "\"elapsed_seconds\": 0.5, \"sweep_axes\": [\"seed\"],\n"
+     << "\"cache\": {\"enabled\": true, \"cells_retrained\": 7},\n"
+     << "\"metrics\": {\"clean_accuracy\": " << accuracy
+     << ", \"solve_ms\": " << time_ms;
+  if (extra_metric != nullptr) os << ", \"" << extra_metric << "\": 1";
+  os << "},\n"
+     << "\"tables\": [{\"name\": \"pure_sweep\","
+     << " \"columns\": [\"seed\", \"p\", \"acc\", \"fit_ms\"],"
+     << " \"rows\": [[1, 0, " << accuracy << ", " << time_ms << "],"
+     << " [1, 0.5, 0.25, 2]]}]}";
+  return os.str();
+}
+
+}  // namespace
+
+TEST(DiffTest, ParsesJsonAndRejectsGarbage) {
+  const JsonValue v = parse_json(
+      "{\"a\": [1, -2.5e2, \"x\\n\\u0041\"], \"b\": {\"c\": true}}");
+  ASSERT_EQ(v.kind, JsonValue::Kind::kObject);
+  const JsonValue* a = v.find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_EQ(a->items.size(), 3u);
+  EXPECT_EQ(a->items[1].number, -250.0);
+  EXPECT_EQ(a->items[2].text, "x\nA");
+  EXPECT_NE(v.find("b")->find("c"), nullptr);
+  EXPECT_EQ(v.find("nope"), nullptr);
+
+  for (const char* bad :
+       {"", "{", "[1,]", "{\"a\" 1}", "{\"a\": 1} trailing", "nul",
+        "\"open"}) {
+    EXPECT_THROW((void)parse_json(bad), std::invalid_argument) << bad;
+  }
+}
+
+TEST(DiffTest, IdenticalResultsAreCleanAndTimingIsIgnored) {
+  const JsonValue a = parse_json(artifact(0.75, 1.0));
+  const JsonValue b = parse_json(artifact(0.75, 99.0));  // timings differ
+  const ResultDiff diff = diff_results(a, b);
+  EXPECT_TRUE(diff.clean());
+  EXPECT_GT(diff.values_compared, 0u);
+  EXPECT_EQ(diff.values_compared, diff.values_matched);
+
+  // With timing included the _ms drift surfaces.
+  DiffOptions with_timing;
+  with_timing.ignore_timing = false;
+  EXPECT_FALSE(diff_results(a, b, with_timing).clean());
+}
+
+TEST(DiffTest, ToleranceGatesDriftBothWays) {
+  const JsonValue a = parse_json(artifact(0.750000));
+  const JsonValue b = parse_json(artifact(0.750001));
+  EXPECT_FALSE(diff_results(a, b).clean());  // exact mode
+
+  DiffOptions loose;
+  loose.tolerance = 1e-4;
+  EXPECT_TRUE(diff_results(a, b, loose).clean());
+
+  DiffOptions tight;
+  tight.tolerance = 1e-9;
+  const ResultDiff diff = diff_results(a, b, tight);
+  ASSERT_EQ(diff.count(DiffKind::kDrift), 2u);  // metric + table cell
+  EXPECT_TRUE(diff.entries[0].numeric);
+  EXPECT_NEAR(diff.entries[0].abs_delta, 1e-6, 1e-12);
+}
+
+TEST(DiffTest, DistinguishesMissingAndExtraRowsFromDrift) {
+  const JsonValue a = parse_json(
+      "{\"scenario\": \"t\", \"kind\": \"k\", \"metrics\": {\"m\": 1},"
+      " \"tables\": [{\"name\": \"tab\", \"columns\": [\"n\", \"v\"],"
+      " \"rows\": [[1, 10], [2, 20]]}]}");
+  const JsonValue b = parse_json(
+      "{\"scenario\": \"t\", \"kind\": \"k\", \"metrics\": {\"m2\": 1},"
+      " \"tables\": [{\"name\": \"tab\", \"columns\": [\"n\", \"v\"],"
+      " \"rows\": [[2, 20], [3, 30]]}]}");
+  const ResultDiff diff = diff_results(a, b);
+  // Row n=1 and metric m vanished, row n=3 and metric m2 appeared; the
+  // shared row n=2 matches -- no value drift anywhere.
+  EXPECT_EQ(diff.count(DiffKind::kMissing), 2u);
+  EXPECT_EQ(diff.count(DiffKind::kExtra), 2u);
+  EXPECT_EQ(diff.count(DiffKind::kDrift), 0u);
+}
+
+TEST(DiffTest, AlignsMergedArtifactsByRunName) {
+  const std::string run = artifact(0.5);
+  const JsonValue a =
+      parse_json("{\"fig1\": " + run + ", \"gone\": " + run + "}");
+  const JsonValue b =
+      parse_json("{\"fig1\": " + artifact(0.75) + ", \"new\": " + run + "}");
+  const ResultDiff diff = diff_results(a, b);
+  EXPECT_EQ(diff.count(DiffKind::kMissing), 1u);  // run "gone"
+  EXPECT_EQ(diff.count(DiffKind::kExtra), 1u);    // run "new"
+  EXPECT_GE(diff.count(DiffKind::kDrift), 1u);    // fig1 accuracy moved
+  // Mixing a single run with a merged artifact is a usage error.
+  EXPECT_THROW((void)diff_results(parse_json(run), a),
+               std::invalid_argument);
+}
+
+TEST(DiffTest, ReportNamesTheDriftedMetric) {
+  const ResultDiff diff = diff_results(parse_json(artifact(0.5)),
+                                       parse_json(artifact(0.75)));
+  std::ostringstream report;
+  write_diff_report(diff, {}, report);
+  EXPECT_NE(report.str().find("clean_accuracy"), std::string::npos);
+  EXPECT_NE(report.str().find("DRIFT"), std::string::npos);
+  EXPECT_NE(report.str().find("0.5 -> 0.75"), std::string::npos);
+}
+
+// -------------------------------------------------------- cli: sweep/diff
+
+TEST(CliTest, SweepFlagAppendsAxes) {
+  const CliOptions options = parse_cli(
+      {"--scenario", "fig1", "--sweep", "epochs=10..20:3", "--sweep",
+       "seed=1,2"});
+  ASSERT_EQ(options.overrides.size(), 2u);
+  EXPECT_EQ(options.overrides[0],
+            (std::pair<std::string, std::string>{"sweep+", "epochs=10..20:3"}));
+
+  std::ostringstream out;
+  std::ostringstream err;
+  const int rc = run_cli(parse_cli({"--scenario", "fig1", "--sweep",
+                                    "epochs=10..20:3", "--sweep", "seed=1,2",
+                                    "--print-spec"}),
+                         out, err);
+  ASSERT_EQ(rc, 0) << err.str();
+  const ScenarioSpec resolved = ScenarioSpec::parse(out.str());
+  EXPECT_EQ(resolved.sweeps,
+            (std::vector<std::string>{"epochs=10..20:3", "seed=1,2"}));
+}
+
+TEST(CliTest, ParsesCompareFlags) {
+  const CliOptions options = parse_cli(
+      {"--compare", "a.json", "b.json", "--tolerance", "1e-6",
+       "--update-baseline"});
+  EXPECT_TRUE(options.compare);
+  EXPECT_EQ(options.compare_baseline, "a.json");
+  EXPECT_EQ(options.compare_candidate, "b.json");
+  EXPECT_EQ(options.tolerance, 1e-6);
+  EXPECT_TRUE(options.update_baseline);
+
+  EXPECT_THROW(parse_cli({"--compare", "a.json"}), std::invalid_argument);
+  EXPECT_THROW(parse_cli({"--compare", "a", "b", "--scenario", "fig1"}),
+               std::invalid_argument);
+  EXPECT_THROW(parse_cli({"--update-baseline"}), std::invalid_argument);
+  EXPECT_THROW(parse_cli({"--compare", "a", "b", "--tolerance", "-1"}),
+               std::invalid_argument);
+  EXPECT_THROW(parse_cli({"--compare", "a", "b", "--tolerance", "wat"}),
+               std::invalid_argument);
+}
+
+class CompareCliTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = (std::filesystem::temp_directory_path() /
+            ("pg_compare_cli_" +
+             std::to_string(::testing::UnitTest::GetInstance()->random_seed())))
+               .string();
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string write(const std::string& name, const std::string& body) {
+    const std::string path = dir_ + "/" + name;
+    std::ofstream file(path);
+    file << body;
+    return path;
+  }
+  std::string dir_;
+};
+
+TEST_F(CompareCliTest, CompareExitsZeroOnMatchOneOnDrift) {
+  const std::string a = write("a.json", artifact(0.5));
+  const std::string same = write("same.json", artifact(0.5, 42.0));
+  const std::string drifted = write("drifted.json", artifact(0.75));
+
+  std::ostringstream out;
+  std::ostringstream err;
+  EXPECT_EQ(run_cli(parse_cli({"--compare", a, same}), out, err), 0)
+      << err.str();
+  EXPECT_NE(out.str().find("results match"), std::string::npos);
+
+  std::ostringstream out2;
+  std::ostringstream err2;
+  EXPECT_EQ(run_cli(parse_cli({"--compare", a, drifted, "--tolerance",
+                               "1e-6"}),
+                    out2, err2),
+            1);
+  EXPECT_NE(out2.str().find("DRIFT"), std::string::npos);
+  EXPECT_NE(err2.str().find("differ"), std::string::npos);
+
+  // Unreadable / malformed inputs: exit 1 with an error, no crash.
+  std::ostringstream out3;
+  std::ostringstream err3;
+  EXPECT_EQ(run_cli(parse_cli({"--compare", a, dir_ + "/nope.json"}), out3,
+                    err3),
+            1);
+  const std::string junk = write("junk.json", "not json at all");
+  EXPECT_EQ(run_cli(parse_cli({"--compare", a, junk}), out3, err3), 1);
+}
+
+TEST_F(CompareCliTest, UpdateBaselineAcceptsTheCandidate) {
+  const std::string a = write("a.json", artifact(0.5));
+  const std::string b = write("b.json", artifact(0.75));
+
+  std::ostringstream out;
+  std::ostringstream err;
+  EXPECT_EQ(
+      run_cli(parse_cli({"--compare", a, b, "--update-baseline"}), out, err),
+      0)
+      << err.str();
+  EXPECT_NE(out.str().find("baseline updated"), std::string::npos);
+
+  // The baseline now IS the candidate: a re-compare is clean.
+  std::ostringstream out2;
+  std::ostringstream err2;
+  EXPECT_EQ(run_cli(parse_cli({"--compare", a, b}), out2, err2), 0);
+}
+
+// ------------------------------------------- cache robustness & eviction
+
+TEST_F(DiskCacheScenarioTest, UnwritableCacheDirDegradesToColdRun) {
+  // The configured path sits under a regular file, so every mkdir/open
+  // fails regardless of uid. The run must complete cold with identical
+  // numbers -- never throw.
+  std::filesystem::create_directories(dir_);
+  { std::ofstream blocker(dir_ + "/blocker"); blocker << "x"; }
+
+  ScenarioSpec plain = tiny_spec("pure_sweep");
+  plain.use_cache = false;
+  const ScenarioResult expected = run_scenario(plain);
+
+  ScenarioSpec spec = tiny_spec("pure_sweep");
+  spec.cache_dir = dir_ + "/blocker/cache";
+  ScenarioResult result;
+  ASSERT_NO_THROW(result = run_scenario(spec));
+  EXPECT_TRUE(result.cache.disk_enabled);
+  EXPECT_EQ(result.cache.disk_entries_loaded, 0u);
+  EXPECT_EQ(result.cache.disk_entries_saved, 0u);
+  EXPECT_GT(result.cache.cells_retrained, 0u);
+  EXPECT_EQ(comparable_cells(result), comparable_cells(expected));
+
+  // And a second cold run against the same broken dir behaves the same.
+  ScenarioResult again;
+  ASSERT_NO_THROW(again = run_scenario(spec));
+  EXPECT_EQ(comparable_cells(again), comparable_cells(expected));
+}
+
+TEST_F(DiskCacheScenarioTest, CacheMaxBytesCapsTheDirectory) {
+  ScenarioSpec spec = tiny_spec("pure_sweep");
+  spec.cache_dir = dir_;
+  const ScenarioResult uncapped = run_scenario(spec);
+  EXPECT_GT(uncapped.cache.disk_entries_saved, 0u);
+  EXPECT_EQ(uncapped.cache.disk_shards_evicted, 0u);
+
+  std::uintmax_t total = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir_)) {
+    total += std::filesystem::file_size(entry.path());
+  }
+  ASSERT_GT(total, 1u);
+
+  // Re-run with a cap smaller than the shard on disk: the engine still
+  // finishes (identical numbers) and the directory ends under the cap.
+  ScenarioSpec capped = spec;
+  capped.cache_max_bytes = 1;
+  const ScenarioResult result = run_scenario(capped);
+  EXPECT_EQ(comparable_cells(result), comparable_cells(uncapped));
+  EXPECT_GT(result.cache.disk_shards_evicted, 0u);
+  EXPECT_EQ(result.cache.disk_max_bytes, 1u);
+  std::uintmax_t after = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir_)) {
+    after += std::filesystem::file_size(entry.path());
+  }
+  EXPECT_LE(after, 1u);
 }
 
 }  // namespace

@@ -3,8 +3,12 @@
 // One binary replaces the eight hand-rolled bench mains: `--list` shows
 // the registered paper reproductions, `--scenario`/`--spec` executes any
 // of them (or a custom spec file) through the scenario engine on the
-// runtime Executor, `--set` tweaks individual knobs, and `--out` picks
-// the result sink (text, JSON, CSV). See src/scenario/ for the engine.
+// runtime Executor, `--set` tweaks individual knobs, `--sweep` expands a
+// cross-product grid over any spec keys in one run, `--out` picks the
+// result sink (text, JSON, CSV), and `--compare` diffs two JSON result
+// artifacts for regression triage (exit 1 past `--tolerance`; the
+// tests/golden/ baselines are maintained with `--update-baseline`). See
+// src/scenario/ for the engine.
 #include <iostream>
 #include <string>
 #include <vector>
