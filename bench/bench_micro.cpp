@@ -273,6 +273,28 @@ void BM_FictitiousPlayParallel(benchmark::State& state) {
 BENCHMARK(BM_FictitiousPlayParallel)->Arg(1)->Arg(4)
     ->Unit(benchmark::kMillisecond)->MeasureProcessCPUTime()->UseRealTime();
 
+void BM_FictitiousPlayNarrowBackend(benchmark::State& state) {
+  // The dispatch-overhead case PersistentTeam exists for: a NARROW game
+  // (64x64, O(m+n) per iteration) where the fork-join's per-iteration
+  // queue round-trips used to outweigh the step. Arg encodes the
+  // backend: 0 = serial, 1 = forced dispatch, 2 = forced team (both
+  // parallel variants on 4 workers). Results are bit-identical across
+  // all three; only the wall-clock moves.
+  static const game::MatrixGame mg = pg::bench::random_game(64, 64, 4064);
+  const int mode = static_cast<int>(state.range(0));
+  const auto exec = sim::make_executor(mode == 0 ? 1 : 4);
+  game::IterativeConfig cfg{.iterations = 4000};
+  cfg.backend = mode == 2 ? game::IterativeBackend::kTeam
+                          : game::IterativeBackend::kDispatch;
+  runtime::Executor* e = mode == 0 ? nullptr : exec.get();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(game::solve_fictitious_play(mg, cfg, e));
+  }
+  state.counters["backend"] = static_cast<double>(mode);
+}
+BENCHMARK(BM_FictitiousPlayNarrowBackend)->Arg(0)->Arg(1)->Arg(2)
+    ->Unit(benchmark::kMillisecond)->MeasureProcessCPUTime()->UseRealTime();
+
 // The headline workload of the runtime: the paper's attacker x defender
 // EMPIRICAL payoff grid, one sanitize-and-retrain pipeline run per cell
 // (the object every sweep, Table-1 evaluation, and ablation is built

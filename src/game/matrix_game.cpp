@@ -75,13 +75,37 @@ std::vector<double> MatrixGame::col_payoffs(const MixedStrategy& row_strategy,
                                             runtime::Executor* executor) const {
   PG_CHECK(row_strategy.size() == num_rows(),
            "col_payoffs: strategy size mismatch");
-  std::vector<double> out(num_cols(), 0.0);
-  runtime::parallel_for(
-      executor, 0, num_cols(), runtime::grain_for_cells(num_rows()), [&](std::size_t j) {
-        for (std::size_t i = 0; i < num_rows(); ++i) {
-          out[j] += payoff_(i, j) * row_strategy[i];
-        }
-      });
+  const std::size_t m = num_rows();
+  const std::size_t n = num_cols();
+  std::vector<double> out(n, 0.0);
+  // Column-blocked A^T p: each task owns a contiguous column slice and
+  // walks the payoff matrix row-major (the cache-friendly direction),
+  // instead of one stride-n column walk per task. Block count balances
+  // two pressures: slices no wider than 512 doubles (the output stays
+  // L1-resident across all rows) and enough slices to occupy every
+  // worker, with a 64-column floor so tiny slices do not shred
+  // locality. Every out[j] still accumulates in ascending row order, so
+  // the result is bit-identical to the per-column loop at any block
+  // size or thread count.
+  constexpr std::size_t kMaxBlockCols = 512;
+  constexpr std::size_t kMinBlockCols = 64;
+  const std::size_t workers =
+      executor != nullptr ? executor->concurrency() : 1;
+  const std::size_t for_cache = (n + kMaxBlockCols - 1) / kMaxBlockCols;
+  const std::size_t for_workers =
+      std::clamp<std::size_t>(n / kMinBlockCols, 1, workers);
+  const std::size_t blocks = std::max(for_cache, for_workers);
+  const std::size_t block = (n + blocks - 1) / blocks;
+  runtime::parallel_for(executor, 0, blocks, 1, [&](std::size_t b) {
+    const std::size_t j_lo = b * block;
+    const std::size_t j_hi = j_lo + block < n ? j_lo + block : n;
+    for (std::size_t i = 0; i < m; ++i) {
+      const double pi = row_strategy[i];
+      for (std::size_t j = j_lo; j < j_hi; ++j) {
+        out[j] += payoff_(i, j) * pi;
+      }
+    }
+  });
   return out;
 }
 

@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <memory>
 
 #include "game/lp.h"
 #include "runtime/parallel_reduce.h"
+#include "runtime/persistent_team.h"
 #include "util/error.h"
 
 namespace pg::game {
@@ -25,6 +27,58 @@ std::size_t scan_chunks(std::size_t dim, runtime::Executor* executor) {
   constexpr std::size_t kMinChunk = 512;
   const std::size_t by_size = dim / kMinChunk;
   return std::clamp<std::size_t>(by_size, 1, workers);
+}
+
+// -------------------------------------------------- persistent-team path
+// An iterative solve issues the SAME O(m + n) or O(m * n) step thousands
+// of times. Routing each step through parallel_for pays a dispatch
+// (allocation + queue + wake-up) per chunk per iteration, which on narrow
+// games outweighs the step itself -- the fork-join "loses to dispatch
+// overhead" case called out in ROADMAP.md. When the solve is big enough
+// to amortize thread spawn and NOT already running inside a pool task
+// (where extra resident threads would oversubscribe), the solvers below
+// stand up a runtime::PersistentTeam once and drive every iteration over
+// its spin barrier instead. Chunking can be much finer than the dispatch
+// path's -- a barrier crossing is ~two atomics -- and determinism is
+// untouched: chunk partials still fold in ascending order with exact
+// comparisons, so serial, dispatched, and team solves are bit-identical.
+
+/// Minimum iterations before a resident team amortizes its spawn cost.
+constexpr std::size_t kTeamMinIterations = 64;
+/// Minimum m + n: below this even a barrier outweighs the step.
+constexpr std::size_t kTeamMinDim = 8;
+/// Minimum TOTAL work (iterations x per-iteration cells) before kAuto
+/// stands up a team: spawning and joining the resident threads costs on
+/// the order of 100us, so a solve must carry roughly half a millisecond
+/// of arithmetic before the team is a win over just dispatching (or
+/// running inline). Below this, small solves in a loop -- the
+/// solver-ablation runner's fitted games, test fixtures -- would pay a
+/// thread spawn per solve for microseconds of work.
+constexpr std::size_t kTeamMinWork = 512 * 1024;
+/// Team-path chunk floor (cells per chunk) -- far finer than the
+/// dispatch path's 512 because the per-chunk overhead is a strided loop
+/// bound, not a queue round-trip.
+constexpr std::size_t kTeamMinChunk = 64;
+
+bool team_pays(std::size_t rows, std::size_t cols, std::size_t iterations,
+               std::size_t cells_per_iteration, runtime::Executor* executor,
+               IterativeBackend backend) {
+  // A team is only possible with spare workers and outside the pool
+  // (resident threads under a pool task would oversubscribe); within
+  // that, kAuto applies the amortization floors and kTeam/kDispatch
+  // force the choice (the solver_parallel bench measures them head to
+  // head).
+  if (executor == nullptr || executor->concurrency() <= 1 ||
+      runtime::on_pool_worker() || backend == IterativeBackend::kDispatch) {
+    return false;
+  }
+  if (backend == IterativeBackend::kTeam) return true;
+  return iterations >= kTeamMinIterations && rows + cols >= kTeamMinDim &&
+         iterations * cells_per_iteration >= kTeamMinWork;
+}
+
+std::size_t team_chunks(std::size_t dim, std::size_t workers) {
+  return std::clamp<std::size_t>(dim / kTeamMinChunk, 1, workers);
 }
 
 }  // namespace
@@ -103,55 +157,87 @@ Equilibrium solve_fictitious_play(const MatrixGame& game,
   std::vector<double> row_scores(m, 0.0);
   std::vector<double> col_scores(n, 0.0);
 
-  // Fixed chunking for the whole solve; partials are preallocated so the
-  // per-iteration loop never touches the heap. Each chunk fuses the score
-  // update with its local best-response scan; the ascending-order fold
-  // below reproduces std::max_element / std::min_element exactly (strict
-  // comparisons at both levels keep the smallest-index tie-break), so the
-  // trajectory -- and therefore the equilibrium -- is bit-identical to
-  // the serial solve at any thread count.
-  const std::size_t row_grain = (m + scan_chunks(m, executor) - 1) /
-                                scan_chunks(m, executor);
-  const std::size_t col_grain = (n + scan_chunks(n, executor) - 1) /
-                                scan_chunks(n, executor);
+  // Pick the execution backend for the whole solve: a resident
+  // PersistentTeam when the per-iteration fork-join would lose to
+  // dispatch (narrow games, many iterations), the executor's fork-join
+  // otherwise, inline when serial. Chunking is fixed up front and the
+  // partials are preallocated so the per-iteration loop never touches
+  // the heap. Each chunk fuses the score update with its local
+  // best-response scan; the ascending-order fold below reproduces
+  // std::max_element / std::min_element exactly (strict comparisons at
+  // both levels keep the smallest-index tie-break), so the trajectory --
+  // and therefore the equilibrium -- is bit-identical to the serial
+  // solve on every backend at any thread count.
+  const bool use_team =
+      team_pays(m, n, config.iterations, m + n, executor, config.backend);
+  std::unique_ptr<runtime::PersistentTeam> team;
+  std::size_t row_chunks;
+  std::size_t col_chunks;
+  if (use_team) {
+    const std::size_t workers = executor->concurrency();
+    row_chunks = team_chunks(m, workers);
+    col_chunks = team_chunks(n, workers);
+    team = std::make_unique<runtime::PersistentTeam>(
+        std::min(workers, row_chunks + col_chunks));
+  } else {
+    row_chunks = scan_chunks(m, executor);
+    col_chunks = scan_chunks(n, executor);
+  }
+  const std::size_t row_grain = (m + row_chunks - 1) / row_chunks;
+  const std::size_t col_grain = (n + col_chunks - 1) / col_chunks;
   // Recompute the counts from the grain so every chunk is non-empty.
-  const std::size_t row_chunks = (m + row_grain - 1) / row_grain;
-  const std::size_t col_chunks = (n + col_grain - 1) / col_grain;
+  row_chunks = (m + row_grain - 1) / row_grain;
+  col_chunks = (n + col_grain - 1) / col_grain;
   std::vector<runtime::ArgExtremum> row_partials(row_chunks);
   std::vector<runtime::ArgExtremum> col_partials(col_chunks);
 
   std::size_t row_action = 0;
   std::size_t col_action = 0;
+
+  // One scan covers both players: chunks [0, row_chunks) update + scan
+  // the row player (maximizer), the rest the column player (minimizer).
+  const auto scan_chunk = [&](std::size_t c) {
+    if (c < row_chunks) {
+      const std::size_t lo = c * row_grain;
+      const std::size_t hi = std::min(m, lo + row_grain);
+      row_scores[lo] += payoff(lo, col_action);
+      runtime::ArgExtremum best{row_scores[lo], lo};
+      for (std::size_t i = lo + 1; i < hi; ++i) {
+        row_scores[i] += payoff(i, col_action);
+        if (row_scores[i] > best.value) best = {row_scores[i], i};
+      }
+      row_partials[c] = best;
+    } else {
+      const std::size_t lo = (c - row_chunks) * col_grain;
+      const std::size_t hi = std::min(n, lo + col_grain);
+      col_scores[lo] += payoff(row_action, lo);
+      runtime::ArgExtremum best{col_scores[lo], lo};
+      for (std::size_t j = lo + 1; j < hi; ++j) {
+        col_scores[j] += payoff(row_action, j);
+        if (col_scores[j] < best.value) best = {col_scores[j], j};
+      }
+      col_partials[c - row_chunks] = best;
+    }
+  };
+  const std::size_t total_chunks = row_chunks + col_chunks;
+  // Hoisted std::function shells so the per-iteration loop converts no
+  // lambdas (each conversion is a potential allocation).
+  const std::function<void(std::size_t)> team_job = [&](std::size_t rank) {
+    for (std::size_t c = rank; c < total_chunks; c += team->size()) {
+      scan_chunk(c);
+    }
+  };
+  const std::function<void(std::size_t)> dispatch_body = scan_chunk;
+
   for (std::size_t t = 0; t < config.iterations; ++t) {
     row_counts[row_action] += 1.0;
     col_counts[col_action] += 1.0;
 
-    // One fork-join covers both players: chunks [0, row_chunks) scan the
-    // row player (maximizer), the rest scan the column player (minimizer).
-    runtime::parallel_for(
-        executor, 0, row_chunks + col_chunks, 1, [&](std::size_t c) {
-          if (c < row_chunks) {
-            const std::size_t lo = c * row_grain;
-            const std::size_t hi = std::min(m, lo + row_grain);
-            row_scores[lo] += payoff(lo, col_action);
-            runtime::ArgExtremum best{row_scores[lo], lo};
-            for (std::size_t i = lo + 1; i < hi; ++i) {
-              row_scores[i] += payoff(i, col_action);
-              if (row_scores[i] > best.value) best = {row_scores[i], i};
-            }
-            row_partials[c] = best;
-          } else {
-            const std::size_t lo = (c - row_chunks) * col_grain;
-            const std::size_t hi = std::min(n, lo + col_grain);
-            col_scores[lo] += payoff(row_action, lo);
-            runtime::ArgExtremum best{col_scores[lo], lo};
-            for (std::size_t j = lo + 1; j < hi; ++j) {
-              col_scores[j] += payoff(row_action, j);
-              if (col_scores[j] < best.value) best = {col_scores[j], j};
-            }
-            col_partials[c - row_chunks] = best;
-          }
-        });
+    if (use_team) {
+      team->run(team_job);
+    } else {
+      runtime::parallel_for(executor, 0, total_chunks, 1, dispatch_body);
+    }
 
     runtime::ArgExtremum row_best = row_partials[0];
     for (std::size_t c = 1; c < row_chunks; ++c) {
@@ -178,6 +264,7 @@ Equilibrium solve_multiplicative_weights(const MatrixGame& game,
   PG_CHECK(config.iterations >= 1, "iterations must be >= 1");
   const std::size_t m = game.num_rows();
   const std::size_t n = game.num_cols();
+  const la::Matrix& payoff = game.payoff();
 
   // Scale payoffs to [0, 1] for the standard Hedge guarantee.
   double lo = std::numeric_limits<double>::infinity();
@@ -217,16 +304,61 @@ Equilibrium solve_multiplicative_weights(const MatrixGame& game,
     return p;
   };
 
+  // The O(m*n) cost of every Hedge step is the pair of payoff matvecs.
+  // Per-entry accumulation order is index-fixed on every backend -- each
+  // row payoff sums j-ascending, each column payoff sums i-ascending --
+  // so dispatched, team, and serial iterations are all bit-identical.
+  // The team job computes both matvecs in one barrier: ranks own
+  // contiguous row and column slices, and the column slice walks the
+  // matrix row-major (the blocked matvec_transposed access pattern).
+  const bool use_team =
+      team_pays(m, n, config.iterations, m * n, executor, config.backend);
+  std::unique_ptr<runtime::PersistentTeam> team;
+  if (use_team) {
+    team = std::make_unique<runtime::PersistentTeam>(
+        std::min(executor->concurrency(),
+                 team_chunks(m, executor->concurrency()) +
+                     team_chunks(n, executor->concurrency())));
+  }
+
+  std::vector<double> p;
+  std::vector<double> q;
+  std::vector<double> row_pay(m, 0.0);
+  std::vector<double> col_pay(n, 0.0);
+  const std::function<void(std::size_t)> team_job = [&](std::size_t rank) {
+    const std::size_t ranks = team->size();
+    const std::size_t row_lo = m * rank / ranks;
+    const std::size_t row_hi = m * (rank + 1) / ranks;
+    for (std::size_t i = row_lo; i < row_hi; ++i) {
+      double s = 0.0;
+      for (std::size_t j = 0; j < n; ++j) s += payoff(i, j) * q[j];
+      row_pay[i] = s;
+    }
+    const std::size_t col_lo = n * rank / ranks;
+    const std::size_t col_hi = n * (rank + 1) / ranks;
+    if (col_lo < col_hi) {
+      for (std::size_t j = col_lo; j < col_hi; ++j) col_pay[j] = 0.0;
+      for (std::size_t i = 0; i < m; ++i) {
+        const double pi = p[i];
+        for (std::size_t j = col_lo; j < col_hi; ++j) {
+          col_pay[j] += payoff(i, j) * pi;
+        }
+      }
+    }
+  };
+
   for (std::size_t t = 0; t < config.iterations; ++t) {
-    const auto p = softmax(row_logw);
-    const auto q = softmax(col_logw);
+    p = softmax(row_logw);
+    q = softmax(col_logw);
     for (std::size_t i = 0; i < m; ++i) row_avg[i] += p[i];
     for (std::size_t j = 0; j < n; ++j) col_avg[j] += q[j];
 
-    // The O(m*n) cost of every Hedge step; per-entry accumulation order
-    // is index-fixed, so the parallel matvecs are bit-identical.
-    const auto row_pay = game.row_payoffs(q, executor);  // row wants high
-    const auto col_pay = game.col_payoffs(p, executor);  // col wants low
+    if (use_team) {
+      team->run(team_job);  // row wants high, col wants low
+    } else {
+      row_pay = game.row_payoffs(q, executor);
+      col_pay = game.col_payoffs(p, executor);
+    }
     for (std::size_t i = 0; i < m; ++i) {
       row_logw[i] += eta_row * (row_pay[i] - lo) / range;
     }

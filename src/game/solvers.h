@@ -16,6 +16,14 @@
 // BIT-IDENTICAL to the serial solve at any thread count. This is the same
 // contract tests/runtime_test.cpp asserts for payoff grids, extended to
 // the solvers that consume them.
+//
+// The two iterative solvers additionally keep a resident
+// runtime::PersistentTeam for the whole solve when the game is narrow
+// enough that per-iteration fork-join dispatch would outweigh the step
+// itself (and the solve is not already nested inside a pool task); the
+// team's spin barrier replaces thousands of dispatches while the
+// ascending-order exact folds keep the equilibrium bit-identical on
+// every backend (see solvers.cpp).
 #pragma once
 
 #include <cstddef>
@@ -36,11 +44,20 @@ namespace pg::game {
     const MatrixGame& game, runtime::Executor* executor = nullptr,
     const LpConfig& lp = {});
 
+/// Parallel backend for the iterative solvers' per-iteration step.
+/// kAuto picks a resident PersistentTeam when the solve's shape amortizes
+/// it (narrow game, many iterations, not nested in a pool task) and the
+/// executor's fork-join otherwise; kDispatch/kTeam force one path -- the
+/// bench uses them to measure team-vs-dispatch head to head. Every
+/// backend returns bit-identical equilibria.
+enum class IterativeBackend { kAuto, kDispatch, kTeam };
+
 struct IterativeConfig {
   std::size_t iterations = 10000;
   /// Hedge learning rate; <= 0 means use the theory rate
   /// sqrt(8 ln K / T) per player.
   double learning_rate = 0.0;
+  IterativeBackend backend = IterativeBackend::kAuto;
 };
 
 /// Fictitious play: both players best-respond to the opponent's empirical

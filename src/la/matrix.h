@@ -4,6 +4,11 @@
 // and covariance matrices for the PCA defense. Kept intentionally small:
 // element access, row views, matvec, transpose, and the reductions the
 // library needs.
+//
+// The hot kernels (matvec, matvec_transposed) are cache-blocked and
+// ILP-restructured in matrix.cpp WITHOUT reordering any output element's
+// floating-point accumulation -- results are bit-identical to the naive
+// loops (compile with -DPG_NO_VECTORIZE to get those instead).
 #pragma once
 
 #include <cstddef>

@@ -4,12 +4,27 @@
 
 #include "util/error.h"
 
+// Kernel policy (see also matrix.cpp): the elementwise kernels (axpy,
+// scale, add, subtract, scaled, lerp) are written as contiguous
+// pointer loops with no loop-carried dependence, so the compiler
+// auto-vectorizes them outright. The REDUCTIONS (dot, norms, distance)
+// deliberately keep one accumulator advancing left-to-right: SIMD-izing
+// a float reduction requires reassociation, and every consumer of these
+// kernels -- payoff cells, solver trajectories, golden baselines -- is
+// gated on bit-stable results. Defining PG_NO_VECTORIZE rebuilds every
+// restructured kernel in this file and matrix.cpp as its straightforward
+// reference loop; results are identical either way (the restructuring
+// never reorders floating-point arithmetic), the knob only exists to
+// isolate codegen when triaging a miscompile or a perf regression.
 namespace pg::la {
 
 double dot(const Vector& a, const Vector& b) {
   PG_CHECK(a.size() == b.size(), "dot: size mismatch");
+  const std::size_t n = a.size();
+  const double* pa = a.data();
+  const double* pb = b.data();
   double s = 0.0;
-  for (std::size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+  for (std::size_t i = 0; i < n; ++i) s += pa[i] * pb[i];
   return s;
 }
 
@@ -23,9 +38,12 @@ double norm(const Vector& a) { return std::sqrt(squared_norm(a)); }
 
 double distance(const Vector& a, const Vector& b) {
   PG_CHECK(a.size() == b.size(), "distance: size mismatch");
+  const std::size_t n = a.size();
+  const double* pa = a.data();
+  const double* pb = b.data();
   double s = 0.0;
-  for (std::size_t i = 0; i < a.size(); ++i) {
-    const double d = a[i] - b[i];
+  for (std::size_t i = 0; i < n; ++i) {
+    const double d = pa[i] - pb[i];
     s += d * d;
   }
   return std::sqrt(s);
@@ -33,7 +51,10 @@ double distance(const Vector& a, const Vector& b) {
 
 void axpy(double alpha, const Vector& x, Vector& y) {
   PG_CHECK(x.size() == y.size(), "axpy: size mismatch");
-  for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+  const std::size_t n = x.size();
+  const double* px = x.data();
+  double* py = y.data();
+  for (std::size_t i = 0; i < n; ++i) py[i] += alpha * px[i];
 }
 
 void scale(Vector& x, double alpha) {
@@ -42,21 +63,32 @@ void scale(Vector& x, double alpha) {
 
 Vector add(const Vector& a, const Vector& b) {
   PG_CHECK(a.size() == b.size(), "add: size mismatch");
-  Vector out(a.size());
-  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] + b[i];
+  const std::size_t n = a.size();
+  Vector out(n);
+  const double* pa = a.data();
+  const double* pb = b.data();
+  double* po = out.data();
+  for (std::size_t i = 0; i < n; ++i) po[i] = pa[i] + pb[i];
   return out;
 }
 
 Vector subtract(const Vector& a, const Vector& b) {
   PG_CHECK(a.size() == b.size(), "subtract: size mismatch");
-  Vector out(a.size());
-  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] - b[i];
+  const std::size_t n = a.size();
+  Vector out(n);
+  const double* pa = a.data();
+  const double* pb = b.data();
+  double* po = out.data();
+  for (std::size_t i = 0; i < n; ++i) po[i] = pa[i] - pb[i];
   return out;
 }
 
 Vector scaled(const Vector& a, double alpha) {
-  Vector out(a.size());
-  for (std::size_t i = 0; i < a.size(); ++i) out[i] = alpha * a[i];
+  const std::size_t n = a.size();
+  Vector out(n);
+  const double* pa = a.data();
+  double* po = out.data();
+  for (std::size_t i = 0; i < n; ++i) po[i] = alpha * pa[i];
   return out;
 }
 
@@ -68,10 +100,12 @@ Vector normalized(const Vector& a) {
 
 Vector lerp(const Vector& a, const Vector& b, double t) {
   PG_CHECK(a.size() == b.size(), "lerp: size mismatch");
-  Vector out(a.size());
-  for (std::size_t i = 0; i < a.size(); ++i) {
-    out[i] = (1.0 - t) * a[i] + t * b[i];
-  }
+  const std::size_t n = a.size();
+  Vector out(n);
+  const double* pa = a.data();
+  const double* pb = b.data();
+  double* po = out.data();
+  for (std::size_t i = 0; i < n; ++i) po[i] = (1.0 - t) * pa[i] + t * pb[i];
   return out;
 }
 

@@ -51,6 +51,11 @@ LinearModel LogRegTrainer::train(const data::Dataset& train,
   const auto& X = train.features();
   const auto& y = train.labels();
 
+  // Same kernel shape as the SVM trainer: contiguous pointer loops, with
+  // the gradient pass elementwise (auto-vectorizable) and the score dot a
+  // strict left-to-right chain (bit-stability; see ml/svm.cpp).
+  double* wp = w.data();
+  const double lambda = config_.lambda;
   std::size_t t = 0;
   for (std::size_t epoch = 0; epoch < config_.epochs; ++epoch) {
     rng.shuffle(order);
@@ -58,15 +63,16 @@ LinearModel LogRegTrainer::train(const data::Dataset& train,
       ++t;
       const std::size_t i = order[k];
       const auto xi = X.row(i);
+      const double* xp = xi.data();
       const double yi = static_cast<double>(y[i]);
       double score = b;
-      for (std::size_t c = 0; c < d; ++c) score += w[c] * xi[c];
+      for (std::size_t c = 0; c < d; ++c) score += wp[c] * xp[c];
       // d/dz log(1+exp(-y z)) = -y * sigmoid(-y z)
       const double g = -yi * sigmoid(-yi * score);
-      const double eta = config_.learning_rate /
-                         (1.0 + static_cast<double>(t) * config_.lambda);
+      const double eta =
+          config_.learning_rate / (1.0 + static_cast<double>(t) * lambda);
       for (std::size_t c = 0; c < d; ++c) {
-        w[c] -= eta * (g * xi[c] + config_.lambda * w[c]);
+        wp[c] -= eta * (g * xp[c] + lambda * wp[c]);
       }
       b -= eta * g;
     }

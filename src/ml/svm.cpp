@@ -50,6 +50,13 @@ LinearModel SvmTrainer::train(const data::Dataset& train,
   const auto& X = train.features();
   const auto& y = train.labels();
 
+  // This loop is retrained once per payoff cell -- millions of times over
+  // a sweep grid -- so the inner passes are written as contiguous pointer
+  // loops: the elementwise update/decay passes auto-vectorize (no
+  // loop-carried dependence), while the score dot keeps a single
+  // accumulator advancing left-to-right because reassociating it would
+  // move trained accuracies and break the golden baselines.
+  double* wp = w.data();
   std::size_t t = 0;  // global step counter (1-based in the update)
   for (std::size_t epoch = 0; epoch < config_.epochs; ++epoch) {
     rng.shuffle(order);
@@ -57,9 +64,10 @@ LinearModel SvmTrainer::train(const data::Dataset& train,
       ++t;
       const std::size_t i = order[k];
       const auto xi = X.row(i);
+      const double* xp = xi.data();
       const double yi = static_cast<double>(y[i]);
       double score = b;
-      for (std::size_t c = 0; c < d; ++c) score += w[c] * xi[c];
+      for (std::size_t c = 0; c < d; ++c) score += wp[c] * xp[c];
       // Pegasos rate with a t0 = 1/lambda warm-start offset: the textbook
       // eta_t = 1/(lambda*t) opens at eta_1 = 1/lambda (10^4 for the
       // default lambda), which catapults the unregularized bias and costs
@@ -70,15 +78,15 @@ LinearModel SvmTrainer::train(const data::Dataset& train,
       if (yi * score < 1.0) {
         const double step = eta * yi;
         for (std::size_t c = 0; c < d; ++c) {
-          w[c] = decay * w[c] + step * xi[c];
+          wp[c] = decay * wp[c] + step * xp[c];
         }
         b += step;  // bias unregularized
       } else {
-        for (std::size_t c = 0; c < d; ++c) w[c] *= decay;
+        for (std::size_t c = 0; c < d; ++c) wp[c] *= decay;
       }
     }
     if (config_.average && epoch >= avg_start_epoch) {
-      for (std::size_t c = 0; c < d; ++c) w_avg[c] += w[c];
+      la::axpy(1.0, w, w_avg);
       b_avg += b;
       ++avg_count;
     }

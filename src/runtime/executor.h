@@ -12,6 +12,19 @@
 // bodies throw, the first exception (in chunk submission order, best
 // effort) is rethrown on the calling thread after all chunks finish or
 // abandon; the executor remains usable afterwards.
+//
+// NESTED SCHEDULING: parallel_for called from inside one of the pool's
+// own tasks runs inline (the cheap, always-safe choice for fine-grained
+// solver loops). parallel_for_nested instead dispatches its chunks onto
+// the SAME work-stealing pool even from a worker thread: the chunks are
+// depth-tagged one level below the caller, the caller runs the first
+// chunk itself and help-drains tasks at least that deep while joining,
+// so the join can neither deadlock (its own chunks are always eligible
+// to run on the joining thread) nor be diverted into an unbounded
+// outer-level task. Coarse inner loops -- payoff cells under a sweep
+// point, grid points under the scenario engine -- use it to share one
+// pool across nesting levels. TaskGroup (task_group.h) exposes the same
+// machinery for irregular task sets.
 #pragma once
 
 #include <cstddef>
@@ -34,6 +47,33 @@ class Executor {
   virtual void parallel_for(std::size_t begin, std::size_t end,
                             std::size_t grain,
                             const std::function<void(std::size_t)>& fn) = 0;
+
+  /// Nesting-aware variant: identical contract, but a call issued from
+  /// inside one of this executor's own tasks still dispatches chunks to
+  /// the shared pool (depth-tagged; see the file comment) instead of
+  /// collapsing inline. Use it for coarse loop bodies that are worth
+  /// spreading across idle workers even mid-task; keep plain parallel_for
+  /// for fine-grained per-iteration loops. Executors without a pool run
+  /// it as plain parallel_for.
+  virtual void parallel_for_nested(std::size_t begin, std::size_t end,
+                                   std::size_t grain,
+                                   const std::function<void(std::size_t)>& fn) {
+    parallel_for(begin, end, grain, fn);
+  }
+
+ protected:
+  friend class TaskGroup;
+
+  /// TaskGroup hooks. submit_for_group enqueues one eagerly-started task
+  /// (depth-tagged below the caller); returning false means "no async
+  /// backend, run it inline" (the serial executor's answer). help_one
+  /// runs one queued task no shallower than the caller's children while
+  /// a group waits; false when nothing eligible is queued.
+  virtual bool submit_for_group(std::function<void()> task) {
+    (void)task;
+    return false;
+  }
+  virtual bool help_one() { return false; }
 };
 
 /// Runs every index inline on the calling thread, in order.
@@ -50,7 +90,8 @@ class SerialExecutor final : public Executor {
 /// loop (e.g. one solver iteration's row scan + column scan) overlaps.
 /// Reentrancy-safe: a parallel_for issued from inside one of this
 /// executor's own loop bodies runs inline on the calling worker instead
-/// of deadlocking on the saturated pool.
+/// of deadlocking on the saturated pool; parallel_for_nested dispatches
+/// even then (depth-tagged, help-first join -- see the file comment).
 class ThreadPoolExecutor final : public Executor {
  public:
   /// 0 threads means default_thread_count().
@@ -61,10 +102,27 @@ class ThreadPoolExecutor final : public Executor {
   }
   void parallel_for(std::size_t begin, std::size_t end, std::size_t grain,
                     const std::function<void(std::size_t)>& fn) override;
+  void parallel_for_nested(
+      std::size_t begin, std::size_t end, std::size_t grain,
+      const std::function<void(std::size_t)>& fn) override;
+
+ protected:
+  bool submit_for_group(std::function<void()> task) override;
+  bool help_one() override;
 
  private:
+  void dispatch(std::size_t begin, std::size_t end, std::size_t grain,
+                std::size_t chunks, const std::function<void(std::size_t)>& fn);
+
   ThreadPool pool_;
 };
+
+/// True when the calling thread is currently executing a task scheduled
+/// by some ThreadPoolExecutor (a sweep point, a payoff cell, a solver
+/// chunk). Long-lived helpers that spawn their own threads -- notably
+/// PersistentTeam -- consult this to avoid oversubscribing from inside an
+/// already-parallel region.
+[[nodiscard]] bool on_pool_worker() noexcept;
 
 /// Process-wide shared SerialExecutor (the null-executor fallback).
 [[nodiscard]] Executor& serial_executor() noexcept;
@@ -79,6 +137,13 @@ inline void parallel_for(Executor* executor, std::size_t begin,
                          std::size_t end, std::size_t grain,
                          const std::function<void(std::size_t)>& fn) {
   executor_or_serial(executor).parallel_for(begin, end, grain, fn);
+}
+
+/// Free-function form of the nesting-aware loop.
+inline void parallel_for_nested(Executor* executor, std::size_t begin,
+                                std::size_t end, std::size_t grain,
+                                const std::function<void(std::size_t)>& fn) {
+  executor_or_serial(executor).parallel_for_nested(begin, end, grain, fn);
 }
 
 }  // namespace pg::runtime

@@ -87,7 +87,11 @@ std::vector<double> PayoffEvaluator::evaluate_cells(std::size_t count,
                                                     const KeyFn& key) const {
   PG_CHECK(cell != nullptr, "PayoffEvaluator: null cell function");
   std::vector<double> values(count, 0.0);
-  executor_.parallel_for(0, count, grain_, [&](std::size_t i) {
+  // Nesting-aware dispatch: payoff cells are coarse (a retrain each), so
+  // even when this evaluator runs inside an outer pool task -- a sweep
+  // point under the scenario engine's point-parallel grid -- its cells
+  // still fan out to idle workers instead of serializing on one.
+  executor_.parallel_for_nested(0, count, grain_, [&](std::size_t i) {
     if (cache_ != nullptr && key) {
       const std::uint64_t k = key(i);
       double cached = 0.0;

@@ -1,0 +1,118 @@
+#include "runtime/persistent_team.h"
+
+#include "util/error.h"
+
+namespace pg::runtime {
+
+namespace {
+/// Yield rounds a parked thread polls the barrier before falling back to
+/// the condition variable. Solver iterations arrive microseconds apart,
+/// well inside this window; a team left idle (between solves, or after
+/// its last run) parks on the futex and costs nothing.
+constexpr int kSpinRounds = 256;
+}  // namespace
+
+PersistentTeam::PersistentTeam(std::size_t ranks) : ranks_(ranks) {
+  PG_CHECK(ranks_ >= 1, "PersistentTeam: needs at least one rank");
+  workers_.reserve(ranks_ - 1);
+  for (std::size_t r = 1; r < ranks_; ++r) {
+    workers_.emplace_back([this, r] { worker_loop(r); });
+  }
+}
+
+PersistentTeam::~PersistentTeam() {
+  stop_.store(true, std::memory_order_release);
+  {
+    // Empty critical section: a worker that checked the predicate before
+    // the store is guaranteed to be inside wait() by the time we notify.
+    std::lock_guard<std::mutex> lock(sleep_mutex_);
+  }
+  cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void PersistentTeam::worker_loop(std::size_t rank) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    // Wait for the next generation (or shutdown): spin-yield first, park
+    // on the condition variable only when the team has gone quiet.
+    std::uint64_t gen = generation_.load(std::memory_order_acquire);
+    int spin = 0;
+    while (gen == seen && !stop_.load(std::memory_order_acquire)) {
+      if (++spin <= kSpinRounds) {
+        std::this_thread::yield();
+      } else {
+        std::unique_lock<std::mutex> lock(sleep_mutex_);
+        cv_.wait(lock, [this, seen] {
+          return generation_.load(std::memory_order_acquire) != seen ||
+                 stop_.load(std::memory_order_acquire);
+        });
+      }
+      gen = generation_.load(std::memory_order_acquire);
+    }
+    if (stop_.load(std::memory_order_acquire)) return;
+    seen = gen;
+
+    // job_ was published before the generation bump we just acquired.
+    try {
+      (*job_)(rank);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(error_mutex_);
+      if (!error_) error_ = std::current_exception();
+    }
+    if (arrived_.fetch_add(1, std::memory_order_acq_rel) + 1 == ranks_ - 1) {
+      // Last rank in: notify under the mutex so the caller cannot check
+      // the count and sleep between our increment and our notify.
+      std::lock_guard<std::mutex> lock(done_mutex_);
+      done_cv_.notify_one();
+    }
+  }
+}
+
+void PersistentTeam::run(const std::function<void(std::size_t)>& job) {
+  PG_CHECK(job != nullptr, "PersistentTeam::run: null job");
+  if (ranks_ == 1) {
+    job(0);
+    return;
+  }
+
+  // Previous run() returned only after every rank counted in, so nobody
+  // is still touching arrived_ -- the reset cannot race.
+  job_ = &job;
+  arrived_.store(0, std::memory_order_relaxed);
+  generation_.fetch_add(1, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> lock(sleep_mutex_);
+  }
+  cv_.notify_all();
+
+  try {
+    job(0);
+  } catch (...) {
+    std::lock_guard<std::mutex> lock(error_mutex_);
+    if (!error_) error_ = std::current_exception();
+  }
+
+  // Barrier: all worker ranks must arrive before the iteration's results
+  // may be read (or the next run() reuses arrived_).
+  int spin = 0;
+  while (arrived_.load(std::memory_order_acquire) < ranks_ - 1) {
+    if (++spin <= kSpinRounds) {
+      std::this_thread::yield();
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(done_mutex_);
+    done_cv_.wait(lock, [this] {
+      return arrived_.load(std::memory_order_acquire) >= ranks_ - 1;
+    });
+  }
+
+  std::exception_ptr error;
+  {
+    std::lock_guard<std::mutex> lock(error_mutex_);
+    std::swap(error, error_);
+  }
+  if (error) std::rethrow_exception(error);
+}
+
+}  // namespace pg::runtime

@@ -1,0 +1,91 @@
+// Persistent parallel region: a resident worker team with a spin barrier.
+//
+// The work-stealing pool is built for irregular tasks; an iterative
+// solver is the opposite workload -- the SAME O(m + n) step, thousands of
+// times, microseconds apart. Dispatching that step through parallel_for
+// costs one std::function allocation, one deque push, and one wake-up per
+// chunk per iteration, which on narrow games outweighs the step itself
+// (the PR-2 follow-up named in ROADMAP.md). PersistentTeam removes the
+// per-iteration dispatch entirely: N - 1 workers are spawned once and
+// parked on a generation-counter barrier; run(job) publishes the job,
+// bumps the generation (one atomic release), executes rank 0 on the
+// calling thread, and spins until every rank has arrived. Steady-state
+// cost per iteration is two barrier crossings -- no allocation, no
+// queue, no futex on the hot path (workers fall back to a condition
+// variable only after an idle spin window, so an abandoned team does not
+// burn CPU).
+//
+// Determinism: run(job) calls job(rank) exactly once per rank in
+// [0, size()); the job partitions its index space by rank as a pure
+// function of (rank, size()), so which OS thread executes which rank can
+// never affect results. Exception contract matches parallel_for: the
+// first failure is captured and rethrown from run() after the barrier.
+//
+// Teams are single-owner (run() from the creating thread only) and
+// intentionally NOT nested: creating one inside a pool task would
+// oversubscribe -- callers gate on runtime::on_pool_worker() (the game
+// solvers do).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace pg::runtime {
+
+class PersistentTeam {
+ public:
+  /// Spawns `ranks - 1` resident workers (the caller is rank 0).
+  /// Requires ranks >= 1; a team of one degenerates to inline calls.
+  explicit PersistentTeam(std::size_t ranks);
+  ~PersistentTeam();
+
+  PersistentTeam(const PersistentTeam&) = delete;
+  PersistentTeam& operator=(const PersistentTeam&) = delete;
+
+  /// Total ranks, including the calling thread.
+  [[nodiscard]] std::size_t size() const noexcept { return ranks_; }
+
+  /// Execute job(rank) once on every rank; the caller runs rank 0 and the
+  /// call returns after ALL ranks have finished (full barrier). Rethrows
+  /// the first exception any rank raised. `job` must not recurse into
+  /// run() on the same team.
+  void run(const std::function<void(std::size_t)>& job);
+
+ private:
+  void worker_loop(std::size_t rank);
+
+  std::size_t ranks_;
+  std::vector<std::thread> workers_;
+
+  // One generation per run(): workers wait for generation_ to move past
+  // what they last served, execute the published job, and count into
+  // arrived_. run() resets arrived_ BEFORE bumping generation_ -- safe
+  // because the previous run() returned only after every rank counted in.
+  std::atomic<std::uint64_t> generation_{0};
+  std::atomic<std::size_t> arrived_{0};
+  const std::function<void(std::size_t)>* job_ = nullptr;  // published
+                                                           // before the
+                                                           // generation bump
+  std::atomic<bool> stop_{false};
+
+  std::mutex error_mutex_;
+  std::exception_ptr error_;  // first failure wins
+
+  // Idle-sleep fallback: workers spin-yield for a window, then wait here;
+  // run() pulses the mutex and notifies after bumping the generation.
+  std::mutex sleep_mutex_;
+  std::condition_variable cv_;
+
+  // Completion fallback for the caller's barrier wait (same pattern).
+  std::mutex done_mutex_;
+  std::condition_variable done_cv_;
+};
+
+}  // namespace pg::runtime

@@ -1,0 +1,78 @@
+#include "runtime/task_group.h"
+
+#include <thread>
+#include <utility>
+
+#include "runtime/executor.h"
+#include "util/error.h"
+
+namespace pg::runtime {
+
+TaskGroup::TaskGroup(Executor* executor)
+    : executor_(executor), state_(std::make_shared<State>()) {}
+
+TaskGroup::~TaskGroup() {
+  // Tasks hold a shared_ptr to the state, so letting them finish is a
+  // matter of joining, not lifetime. Errors from unwaited tasks are
+  // dropped by design -- call wait() to observe them.
+  if (state_->pending.load(std::memory_order_acquire) == 0) return;
+  try {
+    wait();
+  } catch (...) {  // NOLINT(bugprone-empty-catch)
+  }
+}
+
+void TaskGroup::run(std::function<void()> task) {
+  PG_CHECK(task != nullptr, "TaskGroup::run: null task");
+  auto state = state_;
+  state->pending.fetch_add(1, std::memory_order_acq_rel);
+  auto wrapped = [state, task = std::move(task)] {
+    try {
+      task();
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(state->mutex);
+      if (!state->error) state->error = std::current_exception();
+    }
+    if (state->pending.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      // Last task out: notify under the mutex so wait() cannot check the
+      // counter and sleep between our decrement and our notify.
+      std::lock_guard<std::mutex> lock(state->mutex);
+      state->done.notify_all();
+    }
+  };
+  if (executor_ == nullptr || !executor_->submit_for_group(wrapped)) {
+    wrapped();  // serial executor (or pool of one): run inline now
+  }
+}
+
+void TaskGroup::wait() {
+  constexpr int kJoinSpinRounds = 128;
+  int spin = 0;
+  while (state_->pending.load(std::memory_order_acquire) > 0) {
+    if (executor_ != nullptr && executor_->help_one()) {
+      spin = 0;
+      continue;
+    }
+    if (spin < kJoinSpinRounds) {
+      if (++spin % 16 == 0) std::this_thread::yield();
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(state_->mutex);
+    if (state_->pending.load(std::memory_order_acquire) == 0) break;
+    state_->done.wait(lock, [this] {
+      return state_->pending.load(std::memory_order_acquire) == 0;
+    });
+  }
+  std::exception_ptr error;
+  {
+    std::lock_guard<std::mutex> lock(state_->mutex);
+    std::swap(error, state_->error);
+  }
+  if (error) std::rethrow_exception(error);
+}
+
+std::size_t TaskGroup::pending() const noexcept {
+  return state_->pending.load(std::memory_order_acquire);
+}
+
+}  // namespace pg::runtime

@@ -1,0 +1,70 @@
+// Structured fork-join over an Executor for irregular task sets.
+//
+// parallel_for covers index loops; TaskGroup covers the "a few unlike
+// tasks" shape -- e.g. the scenario engine overlapping a handful of
+// heterogeneous sweep points, or a solver overlapping two asymmetric
+// scans. Tasks start EAGERLY on run() (on the executor's work-stealing
+// pool, depth-tagged one level below the caller) and wait() blocks until
+// all of them finish, helping drain eligible pool tasks instead of
+// sleeping -- the same caller-participation join parallel_for uses, so a
+// group nested inside a pool task cannot deadlock even when every worker
+// is busy.
+//
+// Exception contract: the FIRST task failure (in completion order, best
+// effort) is captured and rethrown from wait(); the remaining tasks
+// still run to completion. On a serial (or null) executor run() executes
+// the task inline and wait() only rethrows, so the group's semantics --
+// "errors surface at the join" -- are identical either way.
+//
+// A TaskGroup is single-owner: run()/wait() must be called from the
+// thread that created it, and the destructor waits for any tasks still
+// in flight (swallowing their errors; call wait() to observe them).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+
+namespace pg::runtime {
+
+class Executor;
+
+class TaskGroup {
+ public:
+  /// Binds the group to `executor` for its lifetime; null means serial
+  /// (every task runs inline in run()).
+  explicit TaskGroup(Executor* executor);
+  ~TaskGroup();
+
+  TaskGroup(const TaskGroup&) = delete;
+  TaskGroup& operator=(const TaskGroup&) = delete;
+
+  /// Schedule one task. Starts immediately: on the pool when the executor
+  /// has one, inline otherwise. A task that throws marks the group failed
+  /// (first error wins) -- the exception surfaces from wait().
+  void run(std::function<void()> task);
+
+  /// Block until every task submitted so far has finished, then rethrow
+  /// the first captured error, if any. The group is reusable afterwards.
+  void wait();
+
+  /// Tasks submitted and not yet finished (approximate while running).
+  [[nodiscard]] std::size_t pending() const noexcept;
+
+ private:
+  struct State {
+    std::mutex mutex;
+    std::condition_variable done;
+    std::atomic<std::size_t> pending{0};
+    std::exception_ptr error;  // first failure wins; guarded by mutex
+  };
+
+  Executor* executor_;
+  std::shared_ptr<State> state_;
+};
+
+}  // namespace pg::runtime

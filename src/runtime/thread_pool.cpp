@@ -42,7 +42,7 @@ ThreadPool::~ThreadPool() {
   for (std::thread& w : workers_) w.join();
 }
 
-void ThreadPool::submit(std::function<void()> task) {
+void ThreadPool::submit(std::function<void()> task, std::size_t depth) {
   PG_CHECK(task != nullptr, "ThreadPool::submit: null task");
   PG_CHECK(!stop_.load(std::memory_order_acquire),
            "ThreadPool::submit after shutdown");
@@ -54,7 +54,7 @@ void ThreadPool::submit(std::function<void()> task) {
   pending_.fetch_add(1, std::memory_order_release);
   {
     std::lock_guard<std::mutex> lock(deques_[victim]->mutex);
-    deques_[victim]->tasks.push_back(std::move(task));
+    deques_[victim]->tasks.push_back(Task{std::move(task), depth});
   }
   {
     std::lock_guard<std::mutex> lock(sleep_mutex_);
@@ -62,31 +62,47 @@ void ThreadPool::submit(std::function<void()> task) {
   cv_.notify_one();
 }
 
-std::function<void()> ThreadPool::take_task(std::size_t self) {
+std::function<void()> ThreadPool::take_task(std::size_t self,
+                                            std::size_t min_depth) {
   const std::size_t n = deques_.size();
   for (std::size_t k = 0; k < n; ++k) {
     const std::size_t victim = (self + k) % n;
     Deque& d = *deques_[victim];
     std::lock_guard<std::mutex> lock(d.mutex);
     if (d.tasks.empty()) continue;
+    // Own deque: newest-first (cache-hot, and the deepest nesting level
+    // sits at the back). Steal: oldest-first. Either way, skip past
+    // entries shallower than min_depth -- a depth-constrained joiner must
+    // not be diverted into outer-level work -- and take the first
+    // eligible one. Skipped entries stay queued for the workers' own
+    // unconstrained (min_depth == 0) scans.
     std::function<void()> task;
     if (victim == self) {
-      task = std::move(d.tasks.back());  // own deque: LIFO, cache-hot
-      d.tasks.pop_back();
+      for (auto it = d.tasks.rbegin(); it != d.tasks.rend(); ++it) {
+        if (it->depth < min_depth) continue;
+        task = std::move(it->fn);
+        d.tasks.erase(std::next(it).base());
+        break;
+      }
     } else {
-      task = std::move(d.tasks.front());  // steal: FIFO, oldest first
-      d.tasks.pop_front();
+      for (auto it = d.tasks.begin(); it != d.tasks.end(); ++it) {
+        if (it->depth < min_depth) continue;
+        task = std::move(it->fn);
+        d.tasks.erase(it);
+        break;
+      }
     }
+    if (!task) continue;
     pending_.fetch_sub(1, std::memory_order_relaxed);
     return task;
   }
   return {};
 }
 
-bool ThreadPool::try_run_one() {
+bool ThreadPool::try_run_one(std::size_t min_depth) {
   // size() as `self` never equals a worker index, so the scan is
   // steal-only and starts at deque 0.
-  std::function<void()> task = take_task(deques_.size());
+  std::function<void()> task = take_task(deques_.size(), min_depth);
   if (!task) return false;
   task();
   return true;
@@ -95,11 +111,11 @@ bool ThreadPool::try_run_one() {
 void ThreadPool::worker_loop(std::size_t index) {
   for (;;) {
     if (stop_.load(std::memory_order_acquire)) return;
-    std::function<void()> task = take_task(index);
+    std::function<void()> task = take_task(index, 0);
     for (int spin = 0; !task && spin < kSpinRounds; ++spin) {
       if (stop_.load(std::memory_order_acquire)) return;
       std::this_thread::yield();
-      task = take_task(index);
+      task = take_task(index, 0);
     }
     if (!task) {
       std::unique_lock<std::mutex> lock(sleep_mutex_);

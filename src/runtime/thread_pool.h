@@ -16,6 +16,16 @@
 // before sleeping so fork-join cadences (one parallel_for per solver
 // iteration) do not pay a wake-up on every beat.
 //
+// NESTING / DEPTH TAGS: every task carries a nesting depth (outer sweep
+// points at depth 1, the cell or solver chunks they spawn at depth 2,
+// and so on). Workers take any task, but a thread that is BLOCKED
+// joining its own tasks helps through try_run_one(min_depth) with the
+// depth of the tasks it waits for -- so it only picks up work at least
+// that deep. This is what makes nested fork-join safe AND bounded: the
+// joining thread can always run its own queued chunks (they carry
+// exactly min_depth), and it can never be diverted into a fresh
+// outer-level task whose latency (and stack) would be unbounded.
+//
 // Threads are joined in the destructor after the queues drain of running
 // tasks; tasks still queued but not started are discarded on shutdown
 // (every user in this library blocks until its own tasks finish, so
@@ -50,29 +60,40 @@ class ThreadPool {
   [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
 
   /// Enqueue a task onto one worker's deque (round-robin). Never blocks.
-  /// Must not be called after destruction has begun.
-  void submit(std::function<void()> task);
+  /// `depth` is the task's nesting level (see the file comment); plain
+  /// top-level submissions use depth 1. Must not be called after
+  /// destruction has begun.
+  void submit(std::function<void()> task, std::size_t depth = 1);
 
-  /// Pop one queued (not yet started) task and run it on the calling
-  /// thread; returns false when every deque is empty. This is how a
-  /// thread blocked on its own tasks' completion helps drain the pool
-  /// instead of sleeping -- the caller-participation half of work
-  /// stealing.
-  bool try_run_one();
+  /// Pop one queued (not yet started) task with depth >= `min_depth` and
+  /// run it on the calling thread; returns false when no eligible task is
+  /// queued. This is how a thread blocked on its own tasks' completion
+  /// helps drain the pool instead of sleeping -- the caller-participation
+  /// half of work stealing. min_depth == 0 takes anything (the worker
+  /// loop); a joiner passes the depth of the chunks it waits for.
+  bool try_run_one(std::size_t min_depth = 0);
 
  private:
+  struct Task {
+    std::function<void()> fn;
+    std::size_t depth = 1;
+  };
+
   /// One worker's deque. Heap-allocated so the vector never moves a
   /// mutex; each deque is only touched under its own mutex.
   struct Deque {
     std::mutex mutex;
-    std::deque<std::function<void()>> tasks;
+    std::deque<Task> tasks;
   };
 
   void worker_loop(std::size_t index);
 
-  /// Own deque back (LIFO), then steal the other deques' fronts (FIFO).
-  /// `self` == size() means "external thread": steal-only, fair scan.
-  [[nodiscard]] std::function<void()> take_task(std::size_t self);
+  /// Own deque back (LIFO), then steal the other deques' fronts (FIFO),
+  /// skipping entries shallower than `min_depth` (a skipped entry stays
+  /// for the unconstrained worker loop to take). `self` == size() means
+  /// "external thread": steal-only, fair scan.
+  [[nodiscard]] std::function<void()> take_task(std::size_t self,
+                                                std::size_t min_depth);
 
   std::vector<std::unique_ptr<Deque>> deques_;
   std::vector<std::thread> workers_;

@@ -2,11 +2,14 @@
 
 #include <algorithm>
 #include <array>
+#include <atomic>
 #include <cmath>
 #include <cstdlib>
 #include <deque>
+#include <mutex>
 #include <fstream>
 #include <iostream>
+#include <map>
 #include <memory>
 #include <optional>
 #include <string>
@@ -64,6 +67,15 @@ sim::ExperimentConfig experiment_config(const ScenarioSpec& spec) {
 /// The engine's cache layers: per-context PayoffCache shards, optionally
 /// preloaded from / spilled to a DiskPayoffCache, plus the aggregated
 /// traffic counters the result reports.
+///
+/// THREAD-SAFE: one bundle is shared by every point of a point-parallel
+/// sweep grid, so shard lookup and counter folding serialize on a mutex
+/// (the PayoffCache instances handed out are themselves thread-safe, and
+/// deque growth never invalidates shard pointers). The traffic COUNTERS
+/// may legitimately differ run-to-run under concurrency -- two points
+/// racing to the same cold cell both retrain it -- which is exactly why
+/// the cache block is excluded from `pg_run --compare`; the cached
+/// VALUES cannot differ (each is a pure function of its content key).
 class CacheBundle {
  public:
   CacheBundle(bool memo, std::string dir, std::uint64_t max_bytes)
@@ -75,6 +87,7 @@ class CacheBundle {
   /// the pointer straight through to the sim/ entry points.
   runtime::PayoffCache* shard(std::uint64_t fingerprint) {
     if (!memo_) return nullptr;
+    std::lock_guard<std::mutex> lock(mutex_);
     for (auto& [fp, cache] : shards_) {
       if (fp == fingerprint) return &cache;
     }
@@ -85,20 +98,32 @@ class CacheBundle {
   }
 
   [[nodiscard]] bool memo() const noexcept { return memo_; }
-  sim::PureSweepStats& sweep_stats() noexcept { return sweep_stats_; }
+
+  /// Fold one runner's sweep-cell counters into the totals. Runners keep
+  /// a local sim::PureSweepStats and deposit it here once, so concurrent
+  /// points never share a live counter struct.
+  void add_sweep_stats(const sim::PureSweepStats& stats) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    sweep_stats_.cells_total += stats.cells_total;
+    sweep_stats_.cells_retrained += stats.cells_retrained;
+    sweep_stats_.cache_hits += stats.cache_hits;
+  }
 
   /// Fold one engine-built evaluator's counters into the totals.
   void absorb(const runtime::PayoffEvaluator& evaluator) {
+    std::lock_guard<std::mutex> lock(mutex_);
     eval_retrained_ += evaluator.cells_computed();
     eval_hits_ += evaluator.cache_hits();
   }
   /// Manually-cached cells (the defense-ablation runner).
   void add_cells(std::size_t retrained, std::size_t hits) {
+    std::lock_guard<std::mutex> lock(mutex_);
     eval_retrained_ += retrained;
     eval_hits_ += hits;
   }
 
-  /// Spill every shard and fill the report.
+  /// Spill every shard and fill the report. Single-threaded: called once
+  /// after every point has joined.
   void finish(CacheReport& report) {
     report.enabled = memo_;
     report.disk_enabled = disk_.enabled();
@@ -120,6 +145,7 @@ class CacheBundle {
  private:
   bool memo_;
   runtime::DiskPayoffCache disk_;
+  std::mutex mutex_;
   std::deque<std::pair<std::uint64_t, runtime::PayoffCache>> shards_;
   std::size_t loaded_ = 0;
   sim::PureSweepStats sweep_stats_;
@@ -157,10 +183,12 @@ void run_pure_sweep_scenario(const ScenarioSpec& spec, runtime::Executor* exec,
       sim::prepare_experiment(experiment_config(spec));
   add_context_metrics(ctx, result);
 
+  sim::PureSweepStats sweep_stats;
   const auto grid = sim::sweep_grid(spec.sweep_max, spec.sweep_steps);
   const auto sweep = sim::run_pure_sweep(
       ctx, grid, spec.replications, exec,
-      bundle.shard(sim::context_fingerprint(ctx)), &bundle.sweep_stats());
+      bundle.shard(sim::context_fingerprint(ctx)), &sweep_stats);
+  bundle.add_sweep_stats(sweep_stats);
   result.tables.push_back(sweep_table(sweep));
 
   const auto best = sim::best_pure_defense(sweep);
@@ -196,9 +224,11 @@ void run_mixed_table_scenario(const ScenarioSpec& spec, runtime::Executor* exec,
   const runtime::PayoffEvaluator evaluator(runtime::executor_or_serial(exec),
                                            cache);
 
+  sim::PureSweepStats sweep_stats;
   const auto grid = sim::sweep_grid(spec.sweep_max, spec.sweep_steps);
   const auto sweep = sim::run_pure_sweep(ctx, grid, spec.replications, exec,
-                                         cache, &bundle.sweep_stats());
+                                         cache, &sweep_stats);
+  bundle.add_sweep_stats(sweep_stats);
   const auto curves = sim::fit_payoff_curves(sweep);
   const core::PoisoningGame game(curves, ctx.poison_budget);
   const auto pure = sim::best_pure_defense(sweep);
@@ -291,10 +321,12 @@ void run_pure_ne_scenario(const ScenarioSpec& spec, runtime::Executor* exec,
   const sim::ExperimentContext ctx =
       sim::prepare_experiment(experiment_config(spec));
   add_context_metrics(ctx, result);
+  sim::PureSweepStats sweep_stats;
   const auto sweep = sim::run_pure_sweep(
       ctx, sim::sweep_grid(spec.sweep_max, spec.sweep_steps),
       spec.replications, exec, bundle.shard(sim::context_fingerprint(ctx)),
-      &bundle.sweep_stats());
+      &sweep_stats);
+  bundle.add_sweep_stats(sweep_stats);
   report("measured (Spambase-like sweep)",
          core::PoisoningGame(sim::fit_payoff_curves(sweep),
                              ctx.poison_budget));
@@ -333,9 +365,11 @@ void run_support_sweep_scenario(const ScenarioSpec& spec,
   const runtime::PayoffEvaluator evaluator(runtime::executor_or_serial(exec),
                                            cache);
 
+  sim::PureSweepStats sweep_stats;
   const auto sweep = sim::run_pure_sweep(
       ctx, sim::sweep_grid(spec.sweep_max, spec.sweep_steps),
-      spec.replications, exec, cache, &bundle.sweep_stats());
+      spec.replications, exec, cache, &sweep_stats);
+  bundle.add_sweep_stats(sweep_stats);
   const auto curves = sim::fit_payoff_curves(sweep);
   const core::PoisoningGame game(curves, ctx.poison_budget);
 
@@ -406,6 +440,7 @@ void run_transfer_scenario(const ScenarioSpec& spec, runtime::Executor* exec,
 
   runtime::PayoffCache* source_cache =
       bundle.shard(sim::context_fingerprint(source));
+  sim::PureSweepStats sweep_stats;
   ResultTable table{"targets",
                     {"target", "transferred_accuracy", "native_accuracy",
                      "transfer_gap"},
@@ -418,12 +453,13 @@ void run_transfer_scenario(const ScenarioSpec& spec, runtime::Executor* exec,
                                              target_cache);
     const auto res = sim::run_transfer_experiment(
         source, ctx, tcfg, exec, &evaluator, source_cache, target_cache,
-        &bundle.sweep_stats());
+        &sweep_stats);
     table.add_row(
         {target.name, res.transferred_accuracy, res.native_accuracy,
          res.transfer_gap});
     bundle.absorb(evaluator);
   }
+  bundle.add_sweep_stats(sweep_stats);
   result.tables.push_back(std::move(table));
 }
 
@@ -484,10 +520,12 @@ void run_solver_ablation_scenario(const ScenarioSpec& spec,
   const sim::ExperimentContext ctx =
       sim::prepare_experiment(experiment_config(spec));
   add_context_metrics(ctx, result);
+  sim::PureSweepStats sweep_stats;
   const auto sweep = sim::run_pure_sweep(
       ctx, sim::sweep_grid(spec.sweep_max, spec.sweep_steps),
       spec.replications, exec, bundle.shard(sim::context_fingerprint(ctx)),
-      &bundle.sweep_stats());
+      &sweep_stats);
+  bundle.add_sweep_stats(sweep_stats);
   ablate("measured_curves",
          core::PoisoningGame(sim::fit_payoff_curves(sweep),
                              ctx.poison_budget));
@@ -500,7 +538,6 @@ void run_defense_ablation_scenario(const ScenarioSpec& spec,
                                    runtime::Executor* exec,
                                    CacheBundle& bundle,
                                    ScenarioResult& result) {
-  (void)exec;  // the pipeline runs are sequential, matching the legacy bench
   const sim::ExperimentConfig cfg = experiment_config(spec);
   const sim::ExperimentContext ctx = sim::prepare_experiment(cfg);
   add_context_metrics(ctx, result);
@@ -571,10 +608,10 @@ void run_defense_ablation_scenario(const ScenarioSpec& spec,
   // run would recompute.
   const std::uint64_t fingerprint = sim::context_fingerprint(ctx);
   runtime::PayoffCache* cache = bundle.shard(fingerprint);
-  std::size_t retrained = 0;
-  std::size_t hits = 0;
+  std::atomic<std::size_t> retrained{0};
+  std::atomic<std::size_t> hits{0};
   const defense::Pipeline pipeline({cfg.svm});
-  util::Rng rng(cfg.seed + 1);
+  const util::Rng rng(cfg.seed + 1);
   constexpr std::uint64_t kAblationTag = 0x4445464142'4C0001ULL;
 
   const auto run_cell = [&](const attack::PoisoningAttack* atk,
@@ -596,14 +633,14 @@ void run_defense_ablation_scenario(const ScenarioSpec& spec,
     std::array<double, 3> out{};
     if (cache != nullptr && cache->lookup(subkey(0), out[0]) &&
         cache->lookup(subkey(1), out[1]) && cache->lookup(subkey(2), out[2])) {
-      ++hits;
+      hits.fetch_add(1, std::memory_order_relaxed);
       return out;
     }
     util::Rng r = rng.fork(salt);
     const auto res = pipeline.run(ctx.train, ctx.test, atk, ctx.poison_budget,
                                   filter, r);
     out = {res.test_accuracy, res.detection.precision, res.detection.recall};
-    ++retrained;
+    retrained.fetch_add(1, std::memory_order_relaxed);
     if (cache != nullptr) {
       cache->store(subkey(0), out[0]);
       cache->store(subkey(1), out[1]);
@@ -612,23 +649,50 @@ void run_defense_ablation_scenario(const ScenarioSpec& spec,
     return out;
   };
 
+  // The (attack x defense) pipeline cells run cell-parallel on the
+  // executor this runner is handed (previously a sequential loop, the
+  // `(void)exec` gap ROADMAP.md tracked). Every cell is a pure function
+  // of its (attack, defense, salt) triple -- Rng::fork is stateless in
+  // the parent, the pipeline and filters are shared const -- so the
+  // dispatch order cannot affect any value; rows are assembled serially
+  // in the legacy order afterwards.
+  struct Cell {
+    const attack::PoisoningAttack* atk;
+    const defense::Filter* filter;
+    std::string defense_name;
+    std::uint64_t salt;
+  };
+  std::vector<Cell> cell_specs;
+  for (const auto& atk : attacks) {
+    cell_specs.push_back({atk.get(), nullptr, "(none)", 1});
+    std::uint64_t salt = 2;
+    for (const auto& f : filters) {
+      cell_specs.push_back({atk.get(), f.get(), f->name(), salt++});
+    }
+  }
+  std::vector<std::array<double, 3>> cells(cell_specs.size());
+  runtime::parallel_for_nested(exec, 0, cell_specs.size(), 1,
+                               [&](std::size_t i) {
+                                 const Cell& c = cell_specs[i];
+                                 cells[i] = run_cell(c.atk, c.filter,
+                                                     c.defense_name, c.salt);
+                               });
+
   ResultTable comparison{"defense_comparison",
                          {"attack", "defense", "accuracy",
                           "detection_precision", "detection_recall"},
                          {}};
-  for (const auto& atk : attacks) {
-    {
-      const auto cell = run_cell(atk.get(), nullptr, "(none)", 1);
-      comparison.add_row({atk->name(), "(none)", cell[0], "-", "-"});
-    }
-    std::uint64_t salt = 2;
-    for (const auto& f : filters) {
-      const auto cell = run_cell(atk.get(), f.get(), f->name(), salt++);
-      comparison.add_row({atk->name(), f->name(), cell[0], cell[1], cell[2]});
+  for (std::size_t i = 0; i < cell_specs.size(); ++i) {
+    const Cell& c = cell_specs[i];
+    if (c.filter == nullptr) {
+      comparison.add_row({c.atk->name(), "(none)", cells[i][0], "-", "-"});
+    } else {
+      comparison.add_row({c.atk->name(), c.defense_name, cells[i][0],
+                          cells[i][1], cells[i][2]});
     }
   }
   result.tables.push_back(std::move(comparison));
-  bundle.add_cells(retrained, hits);
+  bundle.add_cells(retrained.load(), hits.load());
 }
 
 // --------------------------------------------------------- solver_parallel
@@ -667,8 +731,9 @@ void run_solver_parallel_scenario(const ScenarioSpec& spec,
                      "speedup_vs_serial"},
                     {}};
 
-  const auto time_solver = [&](const std::string& name, std::size_t size,
-                               const game::MatrixGame& g, const auto& solve) {
+  const auto time_solver = [&](ResultTable& out, const std::string& name,
+                               std::size_t size, const game::MatrixGame& g,
+                               const auto& solve) {
     game::Equilibrium serial_eq;
     double serial_best = 1e300;
     for (std::size_t r = 0; r < spec.timing_reps; ++r) {
@@ -684,14 +749,14 @@ void run_solver_parallel_scenario(const ScenarioSpec& spec,
       parallel_best = std::min(parallel_best, w.elapsed_ms());
     }
     check_identical(serial_eq, parallel_eq);
-    table.add_row({name, size, size, serial_best, parallel_best,
-                   serial_best / parallel_best});
+    out.add_row({name, size, size, serial_best, parallel_best,
+                 serial_best / parallel_best});
   };
 
   const game::LpConfig lp{game::parse_lp_pricing(spec.lp_pricing)};
   for (const std::size_t size : parse_size_list(spec.lp_sizes)) {
     const auto g = random_game(size, size, 1000 + size);
-    time_solver("simplex_lp", size, g,
+    time_solver(table, "simplex_lp", size, g,
                 [&lp](const game::MatrixGame& mg, runtime::Executor* e) {
                   return game::solve_lp_equilibrium(mg, e, lp);
                 });
@@ -699,12 +764,56 @@ void run_solver_parallel_scenario(const ScenarioSpec& spec,
   const game::IterativeConfig fp_cfg{.iterations = 3000};
   for (const std::size_t size : parse_size_list(spec.fp_sizes)) {
     const auto g = random_game(size, size, 2000 + size);
-    time_solver("fictitious_play", size, g,
+    time_solver(table, "fictitious_play", size, g,
                 [&fp_cfg](const game::MatrixGame& mg, runtime::Executor* e) {
                   return game::solve_fictitious_play(mg, fp_cfg, e);
                 });
   }
   result.tables.push_back(std::move(table));
+
+  // Narrow-game persistent-team trajectory: the sizes where the old
+  // per-iteration fork-join LOST to dispatch overhead, measured three
+  // ways -- serial, forced fork-join dispatch, forced resident team --
+  // so the table shows both the absolute speedup and the team's win over
+  // the path it retires (speedup_team_vs_dispatch). A separate table
+  // behind an opt-in spec key keeps the pre-team golden baselines
+  // byte-stable.
+  const auto narrow_sizes = parse_size_list(spec.fp_narrow_sizes);
+  if (!narrow_sizes.empty()) {
+    ResultTable narrow{"fp_narrow",
+                       {"solver", "rows", "cols", "serial_ms", "dispatch_ms",
+                        "team_ms", "speedup_vs_serial",
+                        "speedup_team_vs_dispatch"},
+                       {}};
+    const auto timed = [&](const game::MatrixGame& g,
+                           const game::IterativeConfig& cfg,
+                           runtime::Executor* e, game::Equilibrium& eq) {
+      double best = 1e300;
+      for (std::size_t r = 0; r < spec.timing_reps; ++r) {
+        util::Stopwatch w;
+        eq = game::solve_fictitious_play(g, cfg, e);
+        best = std::min(best, w.elapsed_ms());
+      }
+      return best;
+    };
+    for (const std::size_t size : narrow_sizes) {
+      const auto g = random_game(size, size, 4000 + size);
+      game::IterativeConfig cfg{.iterations = 6000};
+      game::Equilibrium serial_eq;
+      game::Equilibrium dispatch_eq;
+      game::Equilibrium team_eq;
+      const double serial_ms = timed(g, cfg, nullptr, serial_eq);
+      cfg.backend = game::IterativeBackend::kDispatch;
+      const double dispatch_ms = timed(g, cfg, exec, dispatch_eq);
+      cfg.backend = game::IterativeBackend::kTeam;
+      const double team_ms = timed(g, cfg, exec, team_eq);
+      check_identical(serial_eq, dispatch_eq);
+      check_identical(serial_eq, team_eq);
+      narrow.add_row({"fictitious_play", size, size, serial_ms, dispatch_ms,
+                      team_ms, serial_ms / team_ms, dispatch_ms / team_ms});
+    }
+    result.tables.push_back(std::move(narrow));
+  }
   result.add_metric("bit_identical_to_serial", std::size_t{1});
 }
 
@@ -841,6 +950,107 @@ void merge_sweep_point(
   }
 }
 
+/// True for value names the sinks treat as wall-clock measurements
+/// (result.h's naming convention) -- excluded from aggregation because a
+/// mean of timings is noise, not a reproducible number.
+bool is_timing_name(const std::string& name) {
+  return name.ends_with("_ms") || name.ends_with("_seconds") ||
+         name.find("speedup") != std::string::npos;
+}
+
+/// Axis-aware aggregation (the ROADMAP PR-4 follow-up): collapse the
+/// merged per-point metrics across the axes named in `spec.aggregate`
+/// (typically replication-style axes like `seed`), appending a
+/// `sweep_aggregates` table keyed by the REMAINING axes' coordinates:
+///
+///     [kept axis columns...] metric  mean  min  max  count
+///
+/// Group order is first-appearance order in sweep_metrics and the mean
+/// folds values in row order, so the table is deterministic at any
+/// thread count. String-valued and wall-clock metrics are skipped.
+void add_sweep_aggregates(const ScenarioSpec& spec, ScenarioResult& merged) {
+  const std::vector<std::string> agg_keys = split_list(spec.aggregate);
+  if (agg_keys.empty()) return;
+
+  for (const ResultTable& table : merged.tables) {
+    if (table.name != "sweep_metrics") continue;
+    // Columns are [axis keys..., "metric", "value"]; aggregated axes must
+    // exist, kept axes keep their column order.
+    PG_CHECK(table.columns.size() >= 2, "sweep_metrics: malformed schema");
+    const std::size_t n_axes = table.columns.size() - 2;
+    std::vector<std::size_t> kept_cols;
+    for (std::size_t c = 0; c < n_axes; ++c) {
+      const bool aggregated =
+          std::find(agg_keys.begin(), agg_keys.end(), table.columns[c]) !=
+          agg_keys.end();
+      if (!aggregated) kept_cols.push_back(c);
+    }
+    for (const std::string& key : agg_keys) {
+      PG_CHECK(std::find(table.columns.begin(),
+                         table.columns.begin() +
+                             static_cast<std::ptrdiff_t>(n_axes),
+                         key) != table.columns.begin() +
+                                     static_cast<std::ptrdiff_t>(n_axes),
+               "aggregate: '" + key + "' is not a sweep axis of this run");
+    }
+
+    struct Group {
+      std::vector<Value> kept;  // kept coordinate cells + metric name
+      double sum = 0.0;
+      double min = 0.0;
+      double max = 0.0;
+      std::size_t count = 0;
+    };
+    std::vector<Group> groups;  // first-appearance order
+    // Lookup by a serialized key (renders are canonical: shortest-exact
+    // for numbers) so grouping is O(rows log groups), not O(rows x
+    // groups); `groups` keeps the presentation order.
+    std::map<std::string, std::size_t> group_index;
+    for (const auto& row : table.rows) {
+      const Value& metric = row[n_axes];
+      const Value& value = row[n_axes + 1];
+      if (!value.is_number() || is_timing_name(metric.text())) continue;
+      std::vector<Value> key_cells;
+      key_cells.reserve(kept_cols.size() + 1);
+      for (const std::size_t c : kept_cols) key_cells.push_back(row[c]);
+      key_cells.push_back(metric);
+      std::string key;
+      for (const Value& cell : key_cells) {
+        key += cell.is_number() ? 'n' : 's';
+        key += cell.render();
+        key += '\x1f';  // unit separator: never in rendered cells
+      }
+      const auto [it, inserted] = group_index.try_emplace(key, groups.size());
+      if (inserted) {
+        groups.push_back({std::move(key_cells), 0.0, value.number(),
+                          value.number(), 0});
+      }
+      Group& group = groups[it->second];
+      group.sum += value.number();
+      group.min = std::min(group.min, value.number());
+      group.max = std::max(group.max, value.number());
+      ++group.count;
+    }
+
+    std::vector<std::string> columns;
+    for (const std::size_t c : kept_cols) columns.push_back(table.columns[c]);
+    columns.insert(columns.end(), {"metric", "mean", "min", "max", "count"});
+    ResultTable aggregates{"sweep_aggregates", std::move(columns), {}};
+    for (const Group& g : groups) {
+      std::vector<Value> row = g.kept;
+      row.emplace_back(g.sum / static_cast<double>(g.count));
+      row.emplace_back(g.min);
+      row.emplace_back(g.max);
+      row.emplace_back(g.count);
+      aggregates.rows.push_back(std::move(row));
+    }
+    merged.tables.push_back(std::move(aggregates));
+    return;
+  }
+  PG_CHECK(false, "aggregate set but the run produced no sweep_metrics "
+                  "table (is the spec a sweep grid?)");
+}
+
 using RunnerFn = void (*)(const ScenarioSpec&, runtime::Executor*,
                           CacheBundle&, ScenarioResult&);
 
@@ -888,25 +1098,41 @@ ScenarioResult run_scenario(const ScenarioSpec& spec) {
   result.executor_threads = exec->concurrency();
 
   if (plan.empty()) {
+    PG_CHECK(spec.aggregate.empty(),
+             "aggregate requires sweep axes to aggregate over");
     runner_for(spec.kind)(spec, exec.get(), bundle, result);
   } else {
     result.sweep_axes = plan.axis_keys();
     result.add_metric("sweep_points", plan.size());
+    // POINT-PARALLEL GRID: independent grid points dispatch concurrently
+    // through the nested executor (each point's inner loops still fan
+    // out -- payoff cells use parallel_for_nested, so one late point can
+    // spread across the whole pool). Each point computes into its own
+    // slot; every point's randomness derives from its child spec's seed
+    // (RngStreamFactory streams inside the runners), and the shared
+    // bundle only memoizes content-keyed values -- so results cannot
+    // depend on scheduling, and the serial merge below folds them in
+    // plan order regardless of completion order.
+    std::vector<ScenarioResult> points(plan.size());
+    runtime::parallel_for_nested(
+        exec.get(), 0, plan.size(), 1, [&](std::size_t i) {
+          const ScenarioSpec child = plan.child(i);
+          points[i].spec = child;
+          if (child.threads != spec.threads) {
+            // `threads` is itself a swept axis: this point gets its own
+            // executor (results are thread-count-invariant, so the grid
+            // stays bit-identical either way).
+            const auto child_exec = sim::make_executor(child.threads);
+            runner_for(child.kind)(child, child_exec.get(), bundle,
+                                   points[i]);
+          } else {
+            runner_for(child.kind)(child, exec.get(), bundle, points[i]);
+          }
+        });
     for (std::size_t i = 0; i < plan.size(); ++i) {
-      const ScenarioSpec child = plan.child(i);
-      ScenarioResult point;
-      point.spec = child;
-      if (child.threads != spec.threads) {
-        // `threads` is itself a swept axis: this point gets its own
-        // executor (results are thread-count-invariant, so the grid
-        // stays bit-identical either way).
-        const auto child_exec = sim::make_executor(child.threads);
-        runner_for(child.kind)(child, child_exec.get(), bundle, point);
-      } else {
-        runner_for(child.kind)(child, exec.get(), bundle, point);
-      }
-      merge_sweep_point(plan.coordinates(i), point, result);
+      merge_sweep_point(plan.coordinates(i), points[i], result);
     }
+    add_sweep_aggregates(spec, result);
   }
   bundle.finish(result.cache);
   result.elapsed_seconds = watch.elapsed_seconds();

@@ -100,6 +100,10 @@ ScenarioSpec make_solver_parallel() {
   spec.kind = "solver_parallel";
   spec.description = "Parallel solver engine: speedup_vs_serial";
   spec.timing_reps = util::env_size("PG_BENCH_SOLVER_REPS", 3);
+  // Narrow games where fork-join dispatch used to lose: the fp_narrow
+  // table tracks the PersistentTeam speedup on them. (The committed
+  // golden .spec predates the key, so baselines stay byte-stable.)
+  spec.fp_narrow_sizes = "24,48,96";
   return spec;
 }
 

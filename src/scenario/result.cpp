@@ -83,6 +83,13 @@ void ResultTable::add_row(std::vector<Value> row) {
 
 void write_json(const ScenarioResult& result, std::ostream& out) {
   out << "{\n";
+  // Contract for downstream tooling (CI artifacts, cross-PR perf
+  // trajectories): the member set at each version only GROWS -- a bump
+  // means a member was renamed, retyped, or removed, so stored artifacts
+  // from different versions must not be compared blindly. pg_run
+  // --compare ignores members it does not align, so adding fields never
+  // breaks old baselines.
+  out << "  \"schema_version\": 1,\n";
   out << "  \"scenario\": \"" << json_escape(result.spec.name) << "\",\n";
   out << "  \"kind\": \"" << json_escape(result.spec.kind) << "\",\n";
   out << "  \"description\": \"" << json_escape(result.spec.description)

@@ -101,6 +101,7 @@ const std::vector<Field>& field_table() {
       PG_SPEC_FIELD(sweep_steps),
       PG_SPEC_FIELD(replications),
       Field{"sweep", &set_sweep_field, &get_sweep_field},
+      PG_SPEC_FIELD(aggregate),
       PG_SPEC_FIELD(draws),
       PG_SPEC_FIELD(support_min),
       PG_SPEC_FIELD(support_max),
@@ -111,6 +112,7 @@ const std::vector<Field>& field_table() {
       PG_SPEC_FIELD(lp_pricing),
       PG_SPEC_FIELD(lp_sizes),
       PG_SPEC_FIELD(fp_sizes),
+      PG_SPEC_FIELD(fp_narrow_sizes),
       PG_SPEC_FIELD(timing_reps),
       PG_SPEC_FIELD(threads),
       PG_SPEC_FIELD(use_cache),

@@ -54,6 +54,14 @@ struct ScenarioSpec {
   /// (empty clears), so `--set sweep=...` stays last-wins like every
   /// other override.
   std::vector<std::string> sweeps;
+  /// Comma-separated sweep-axis keys to aggregate over (typically
+  /// replication-style axes like `seed`): the merged grid result gains a
+  /// `sweep_aggregates` table with mean/min/max/count of every numeric
+  /// per-point metric across the named axes, keyed by the remaining
+  /// axes' coordinates -- plots need no post-processing. Empty (the
+  /// default) adds nothing. Every named key must be a declared sweep
+  /// axis; the engine rejects the spec otherwise.
+  std::string aggregate;
 
   // ---- mixed-strategy evaluation ------------------------------------
   std::size_t draws = 3;
@@ -70,6 +78,12 @@ struct ScenarioSpec {
   std::string lp_pricing = "bland";  // or "dantzig" (see game/lp.h)
   std::string lp_sizes = "96,192,256,384";    // solver_parallel matrices
   std::string fp_sizes = "256,512,1024,2048";
+  /// Narrow (small m + n) square sizes for solver_parallel's
+  /// persistent-team table (`fp_narrow`): games where per-iteration
+  /// fork-join dispatch used to lose to its own overhead and the
+  /// resident-team path is the win being measured. Empty disables the
+  /// table (the committed golden baselines predate it).
+  std::string fp_narrow_sizes;
   std::size_t timing_reps = 3;  // best-of repetitions for timed kernels
 
   // ---- execution -----------------------------------------------------

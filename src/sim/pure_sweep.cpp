@@ -82,10 +82,13 @@ PureSweepResult run_pure_sweep(const ExperimentContext& ctx,
   // its randomness from a stream keyed by its own id, so results do not
   // depend on which thread runs which cell, or in what order -- and a
   // cached cell is by definition the value the cell would recompute.
+  // Nested dispatch: cells are retrain-priced, so they fan out to the
+  // shared pool even when this sweep is itself one point of a
+  // point-parallel grid.
   const runtime::RngStreamFactory streams(ctx.config.seed);
   const std::size_t cells = grid.size() * replications;
   std::vector<SweepCell> out(cells);
-  runtime::parallel_for(executor, 0, cells, 1, [&](std::size_t c) {
+  runtime::parallel_for_nested(executor, 0, cells, 1, [&](std::size_t c) {
     const std::size_t gi = c / replications;
     const std::size_t rep = c % replications;
     const double p = grid[gi];

@@ -367,6 +367,71 @@ TEST(ParallelSolverTest, MultiplicativeWeightsBitIdenticalAcrossThreadCounts) {
   }
 }
 
+TEST(ParallelSolverTest, IterativeBackendsAllBitIdenticalOnNarrowGames) {
+  // The persistent-team path exists FOR narrow games; force each backend
+  // explicitly so the test cannot silently stop covering one if the
+  // kAuto heuristics move.
+  for (const std::size_t size : {std::size_t{8}, std::size_t{24},
+                                 std::size_t{96}}) {
+    const MatrixGame g = random_game(size, size, 100 + size);
+    IterativeConfig cfg{.iterations = 1500};
+    const auto serial = solve_fictitious_play(g, cfg);
+    for (std::size_t threads : contract_thread_counts()) {
+      runtime::ThreadPoolExecutor exec(threads);
+      for (const auto backend :
+           {IterativeBackend::kAuto, IterativeBackend::kDispatch,
+            IterativeBackend::kTeam}) {
+        cfg.backend = backend;
+        const auto parallel = solve_fictitious_play(g, cfg, &exec);
+        EXPECT_EQ(parallel.value, serial.value)
+            << size << "x" << size << ", " << threads << " threads, backend "
+            << static_cast<int>(backend);
+        EXPECT_EQ(parallel.row_strategy, serial.row_strategy);
+        EXPECT_EQ(parallel.col_strategy, serial.col_strategy);
+      }
+    }
+  }
+}
+
+TEST(ParallelSolverTest, MultiplicativeWeightsTeamBackendBitIdentical) {
+  const MatrixGame g = random_game(24, 16, 17);
+  IterativeConfig cfg{.iterations = 800};
+  const auto serial = solve_multiplicative_weights(g, cfg);
+  for (std::size_t threads : contract_thread_counts()) {
+    runtime::ThreadPoolExecutor exec(threads);
+    for (const auto backend :
+         {IterativeBackend::kDispatch, IterativeBackend::kTeam}) {
+      cfg.backend = backend;
+      const auto parallel = solve_multiplicative_weights(g, cfg, &exec);
+      EXPECT_EQ(parallel.value, serial.value)
+          << threads << " threads, backend " << static_cast<int>(backend);
+      EXPECT_EQ(parallel.row_strategy, serial.row_strategy);
+      EXPECT_EQ(parallel.col_strategy, serial.col_strategy);
+    }
+  }
+}
+
+TEST(ParallelSolverTest, SolveInsidePoolTaskStaysIdenticalWithoutATeam) {
+  // A solve nested inside a pool task (a point-parallel sweep point, a
+  // solver-ablation cell) must not stand up a resident team -- and must
+  // still return the serial answer. kTeam demotes to the dispatch path
+  // there (on_pool_worker() gate), which itself runs inline when nested.
+  const MatrixGame g = random_game(32, 32, 23);
+  IterativeConfig cfg{.iterations = 1000, .learning_rate = 0.0,
+                      .backend = IterativeBackend::kTeam};
+  const auto serial = solve_fictitious_play(g, {.iterations = 1000});
+  runtime::ThreadPoolExecutor exec(4);
+  std::vector<Equilibrium> results(4);
+  exec.parallel_for_nested(0, results.size(), 1, [&](std::size_t i) {
+    results[i] = solve_fictitious_play(g, cfg, &exec);
+  });
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    EXPECT_EQ(results[i].value, serial.value) << "task " << i;
+    EXPECT_EQ(results[i].row_strategy, serial.row_strategy);
+    EXPECT_EQ(results[i].col_strategy, serial.col_strategy);
+  }
+}
+
 // ------------------------------------------- iterations + degenerate games
 
 TEST(LpTest, IterationsCountsPivots) {

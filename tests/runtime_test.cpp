@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <filesystem>
 #include <fstream>
+#include <functional>
 #include <mutex>
 #include <set>
 #include <stdexcept>
@@ -24,7 +25,9 @@
 #include "runtime/parallel_reduce.h"
 #include "runtime/payoff_disk_cache.h"
 #include "runtime/payoff_evaluator.h"
+#include "runtime/persistent_team.h"
 #include "runtime/rng_stream.h"
+#include "runtime/task_group.h"
 #include "runtime/thread_pool.h"
 #include "sim/experiment.h"
 #include "sim/mixed_eval.h"
@@ -635,6 +638,203 @@ TEST(DiskPayoffCacheTest, EnforceMaxBytesEvictsOldestShards) {
     EXPECT_TRUE(std::filesystem::exists(dir + "/notes.txt"));
   }
   std::filesystem::remove_all(dir);
+}
+
+// -------------------------------------------------- nested parallel_for
+// The depth-tagged nested scheduler: outer tasks submit inner chunks to
+// the SAME pool; joins help-drain instead of sleeping, so saturation can
+// slow things down but never deadlock, and determinism survives any
+// interleaving.
+
+TEST(NestedParallelTest, NestedLoopsCoverEveryIndexUnderExhaustion) {
+  // 2 workers, 8 outer tasks each fanning out 8 inner chunks: far more
+  // live fork-joins than threads. Every (outer, inner) pair must run
+  // exactly once.
+  runtime::ThreadPoolExecutor exec(2);
+  constexpr std::size_t kOuter = 8;
+  constexpr std::size_t kInner = 8;
+  std::vector<std::atomic<int>> hits(kOuter * kInner);
+  exec.parallel_for_nested(0, kOuter, 1, [&](std::size_t o) {
+    exec.parallel_for_nested(0, kInner, 1, [&](std::size_t i) {
+      hits[o * kInner + i].fetch_add(1, std::memory_order_relaxed);
+    });
+  });
+  for (std::size_t c = 0; c < hits.size(); ++c) {
+    EXPECT_EQ(hits[c].load(), 1) << "cell " << c;
+  }
+}
+
+TEST(NestedParallelTest, ThreeLevelNestingTerminates) {
+  runtime::ThreadPoolExecutor exec(4);
+  std::atomic<int> leaves{0};
+  exec.parallel_for_nested(0, 4, 1, [&](std::size_t) {
+    exec.parallel_for_nested(0, 4, 1, [&](std::size_t) {
+      exec.parallel_for_nested(0, 4, 1,
+                               [&](std::size_t) { leaves.fetch_add(1); });
+    });
+  });
+  EXPECT_EQ(leaves.load(), 64);
+}
+
+TEST(NestedParallelTest, InnerExceptionPropagatesThroughOuterJoin) {
+  runtime::ThreadPoolExecutor exec(4);
+  EXPECT_THROW(
+      exec.parallel_for_nested(0, 4, 1,
+                               [&](std::size_t o) {
+                                 exec.parallel_for_nested(
+                                     0, 4, 1, [&](std::size_t i) {
+                                       if (o == 2 && i == 3) {
+                                         throw std::runtime_error("inner");
+                                       }
+                                     });
+                               }),
+      std::runtime_error);
+  // The executor stays usable after a failed nested loop.
+  std::atomic<int> count{0};
+  exec.parallel_for_nested(0, 8, 1, [&](std::size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 8);
+}
+
+TEST(NestedParallelTest, NestedGridBitIdenticalAcrossThreadCounts) {
+  // An outer x inner grid where every cell derives its value from its own
+  // RNG stream: the nested schedule (1, 2, 4, hw threads) must reproduce
+  // the serial result bit for bit.
+  const auto compute = [](runtime::Executor& exec) {
+    constexpr std::size_t kOuter = 6;
+    constexpr std::size_t kInner = 16;
+    const runtime::RngStreamFactory streams(1234);
+    std::vector<double> cells(kOuter * kInner, 0.0);
+    exec.parallel_for_nested(0, kOuter, 1, [&](std::size_t o) {
+      exec.parallel_for_nested(0, kInner, 1, [&](std::size_t i) {
+        util::Rng rng = streams.stream(o, i);
+        double acc = 0.0;
+        for (int k = 0; k < 50; ++k) acc += rng.normal();
+        cells[o * kInner + i] = acc;
+      });
+    });
+    return cells;
+  };
+  runtime::SerialExecutor serial;
+  const auto expected = compute(serial);
+  for (const std::size_t threads :
+       {std::size_t{1}, std::size_t{2}, std::size_t{4},
+        runtime::default_thread_count()}) {
+    runtime::ThreadPoolExecutor exec(threads);
+    EXPECT_EQ(compute(exec), expected) << threads << " threads";
+  }
+}
+
+// ------------------------------------------------------------ task_group.h
+
+TEST(TaskGroupTest, RunsEveryTaskAndWaits) {
+  runtime::ThreadPoolExecutor exec(4);
+  std::atomic<int> count{0};
+  runtime::TaskGroup group(&exec);
+  for (int i = 0; i < 32; ++i) {
+    group.run([&count] { count.fetch_add(1); });
+  }
+  group.wait();
+  EXPECT_EQ(count.load(), 32);
+  EXPECT_EQ(group.pending(), 0u);
+}
+
+TEST(TaskGroupTest, NullExecutorRunsInline) {
+  std::atomic<int> count{0};
+  runtime::TaskGroup group(nullptr);
+  group.run([&count] { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 1) << "inline task must run before wait()";
+  group.wait();
+}
+
+TEST(TaskGroupTest, FirstExceptionSurfacesAtWaitAndGroupIsReusable) {
+  runtime::ThreadPoolExecutor exec(2);
+  runtime::TaskGroup group(&exec);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 8; ++i) {
+    group.run([&count, i] {
+      if (i == 5) throw std::invalid_argument("task 5");
+      count.fetch_add(1);
+    });
+  }
+  EXPECT_THROW(group.wait(), std::invalid_argument);
+  EXPECT_EQ(count.load(), 7) << "non-throwing tasks still complete";
+
+  // A failed wait clears the error; the group keeps working.
+  group.run([&count] { count.fetch_add(1); });
+  group.wait();
+  EXPECT_EQ(count.load(), 8);
+}
+
+TEST(TaskGroupTest, GroupsNestInsidePoolTasksWithoutDeadlock) {
+  runtime::ThreadPoolExecutor exec(2);
+  std::atomic<int> inner_total{0};
+  runtime::TaskGroup outer(&exec);
+  for (int o = 0; o < 6; ++o) {
+    outer.run([&] {
+      runtime::TaskGroup inner(&exec);
+      for (int i = 0; i < 6; ++i) {
+        inner.run([&inner_total] { inner_total.fetch_add(1); });
+      }
+      inner.wait();
+    });
+  }
+  outer.wait();
+  EXPECT_EQ(inner_total.load(), 36);
+}
+
+// ------------------------------------------------------ persistent_team.h
+
+TEST(PersistentTeamTest, RunsEveryRankOncePerGeneration) {
+  runtime::PersistentTeam team(4);
+  ASSERT_EQ(team.size(), 4u);
+  std::vector<std::atomic<int>> rank_counts(4);
+  const std::function<void(std::size_t)> job = [&](std::size_t rank) {
+    rank_counts[rank].fetch_add(1, std::memory_order_relaxed);
+  };
+  constexpr int kIterations = 200;
+  for (int t = 0; t < kIterations; ++t) team.run(job);
+  for (std::size_t r = 0; r < 4; ++r) {
+    EXPECT_EQ(rank_counts[r].load(), kIterations) << "rank " << r;
+  }
+}
+
+TEST(PersistentTeamTest, TeamOfOneRunsInline) {
+  runtime::PersistentTeam team(1);
+  int count = 0;
+  team.run([&count](std::size_t rank) {
+    EXPECT_EQ(rank, 0u);
+    ++count;
+  });
+  EXPECT_EQ(count, 1);
+}
+
+TEST(PersistentTeamTest, BarrierPublishesWorkerWritesToCaller) {
+  // Each rank writes a disjoint slice; after run() returns, the caller
+  // must observe every write (the barrier is the synchronization point).
+  runtime::PersistentTeam team(4);
+  std::vector<double> slots(64, 0.0);
+  const std::function<void(std::size_t)> job = [&](std::size_t rank) {
+    for (std::size_t i = rank; i < slots.size(); i += team.size()) {
+      slots[i] += static_cast<double>(i);
+    }
+  };
+  constexpr int kIterations = 100;
+  for (int t = 0; t < kIterations; ++t) team.run(job);
+  for (std::size_t i = 0; i < slots.size(); ++i) {
+    EXPECT_EQ(slots[i], static_cast<double>(i * kIterations)) << "slot " << i;
+  }
+}
+
+TEST(PersistentTeamTest, ExceptionFromAnyRankRethrowsAndTeamSurvives) {
+  runtime::PersistentTeam team(3);
+  EXPECT_THROW(team.run([](std::size_t rank) {
+    if (rank == 1) throw std::runtime_error("rank 1");
+  }),
+               std::runtime_error);
+  // The barrier completed despite the throw; the team keeps working.
+  std::atomic<int> count{0};
+  team.run([&count](std::size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 3);
 }
 
 }  // namespace

@@ -5,6 +5,7 @@
 // payoffs, graceful corruption fallback).
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdint>
 #include <cstdio>
 #include <filesystem>
@@ -687,6 +688,157 @@ TEST(EngineTest, SweepingThreadsStaysBitIdentical) {
       EXPECT_EQ(table->rows[r][c].render(),
                 table->rows[r + half][c].render());
     }
+  }
+}
+
+TEST(EngineTest, PointParallelGridBitIdenticalAcrossThreadCounts) {
+  // The whole grid dispatches point-parallel on the nested executor; the
+  // merged artifact must be bit-identical at 1/2/4 threads, with rows in
+  // plan order regardless of completion order.
+  ScenarioSpec spec = tiny_spec("pure_sweep");
+  spec.add_sweep("epochs=10..20:2");
+  spec.add_sweep("seed=1,2");
+  spec.threads = 1;
+  const auto serial = comparable_cells(run_scenario(spec));
+  for (const std::size_t threads : {std::size_t{2}, std::size_t{4}}) {
+    spec.threads = threads;
+    EXPECT_EQ(comparable_cells(run_scenario(spec)), serial)
+        << threads << " threads";
+  }
+}
+
+TEST(EngineTest, DefenseAblationUsesItsExecutorAndStaysBitIdentical) {
+  // The pipeline runner used to ignore its executor ((void)exec); its
+  // (attack x defense) cells now dispatch cell-parallel and must still
+  // reproduce the sequential rows exactly, cold and warm.
+  ScenarioSpec spec = tiny_spec("defense_ablation");
+  spec.threads = 1;
+  const auto serial = comparable_cells(run_scenario(spec));
+  spec.threads = 4;
+  EXPECT_EQ(comparable_cells(run_scenario(spec)), serial);
+}
+
+TEST(EngineTest, AggregateCollapsesNamedAxes) {
+  ScenarioSpec spec = tiny_spec("pure_sweep");
+  spec.add_sweep("epochs=10..20:2");
+  spec.add_sweep("seed=1,2");
+  spec.aggregate = "seed";
+  const ScenarioResult grid = run_scenario(spec);
+
+  const ResultTable* aggregates = nullptr;
+  const ResultTable* metrics = nullptr;
+  for (const ResultTable& t : grid.tables) {
+    if (t.name == "sweep_aggregates") aggregates = &t;
+    if (t.name == "sweep_metrics") metrics = &t;
+  }
+  ASSERT_NE(aggregates, nullptr);
+  ASSERT_NE(metrics, nullptr);
+  // The aggregated axis is gone, the kept axis leads, and the stats
+  // columns follow.
+  EXPECT_EQ(aggregates->columns,
+            (std::vector<std::string>{"epochs", "metric", "mean", "min",
+                                      "max", "count"}));
+  ASSERT_FALSE(aggregates->rows.empty());
+
+  // Cross-check one group against the raw per-point metrics: the
+  // clean_accuracy mean over seed at the first epochs value.
+  const double epochs0 = aggregates->rows[0][0].number();
+  double sum = 0.0;
+  double mn = 0.0;
+  double mx = 0.0;
+  std::size_t count = 0;
+  for (const auto& row : metrics->rows) {
+    if (row[0].number() != epochs0) continue;
+    if (row[2].is_number() || row[2].text() != "clean_accuracy") continue;
+    const double v = row[3].number();
+    if (count == 0) {
+      mn = v;
+      mx = v;
+    }
+    sum += v;
+    mn = std::min(mn, v);
+    mx = std::max(mx, v);
+    ++count;
+  }
+  ASSERT_EQ(count, 2u) << "one value per swept seed";
+  const ResultTable& agg = *aggregates;
+  bool found = false;
+  for (const auto& row : agg.rows) {
+    if (row[0].number() != epochs0 || row[1].text() != "clean_accuracy") {
+      continue;
+    }
+    found = true;
+    EXPECT_EQ(row[2].number(), sum / static_cast<double>(count));
+    EXPECT_EQ(row[3].number(), mn);
+    EXPECT_EQ(row[4].number(), mx);
+    EXPECT_EQ(row[5].number(), static_cast<double>(count));
+  }
+  EXPECT_TRUE(found);
+
+  // Aggregating every axis leaves metric-only groups.
+  spec.aggregate = "seed,epochs";
+  const ScenarioResult all = run_scenario(spec);
+  for (const ResultTable& t : all.tables) {
+    if (t.name != "sweep_aggregates") continue;
+    EXPECT_EQ(t.columns.front(), "metric");
+    for (const auto& row : t.rows) {
+      EXPECT_EQ(row.back().number(), 4.0) << "2x2 grid collapses fully";
+    }
+  }
+
+  // Deterministic at any thread count, like everything else.
+  spec.aggregate = "seed";
+  spec.threads = 1;
+  const auto serial = comparable_cells(run_scenario(spec));
+  spec.threads = 4;
+  EXPECT_EQ(comparable_cells(run_scenario(spec)), serial);
+}
+
+TEST(EngineTest, AggregateValidationFailsLoudly) {
+  ScenarioSpec spec = tiny_spec("pure_sweep");
+  spec.add_sweep("seed=1,2");
+  spec.aggregate = "epochs";  // swept axes are seed only
+  EXPECT_THROW((void)run_scenario(spec), std::invalid_argument);
+
+  ScenarioSpec no_grid = tiny_spec("pure_sweep");
+  no_grid.aggregate = "seed";  // no sweep clauses at all
+  EXPECT_THROW((void)run_scenario(no_grid), std::invalid_argument);
+}
+
+TEST(EngineTest, SolverParallelNarrowTableComparesBackends) {
+  ScenarioSpec spec = tiny_spec("solver_parallel");
+  spec.kind = "solver_parallel";
+  spec.lp_sizes = "16";
+  spec.fp_sizes = "24";
+  spec.fp_narrow_sizes = "12,20";
+  spec.timing_reps = 1;
+  spec.threads = 2;
+  const ScenarioResult result = run_scenario(spec);
+  const ResultTable* narrow = nullptr;
+  for (const ResultTable& t : result.tables) {
+    if (t.name == "fp_narrow") narrow = &t;
+  }
+  ASSERT_NE(narrow, nullptr) << "fp_narrow_sizes must add the table";
+  EXPECT_EQ(narrow->columns,
+            (std::vector<std::string>{"solver", "rows", "cols", "serial_ms",
+                                      "dispatch_ms", "team_ms",
+                                      "speedup_vs_serial",
+                                      "speedup_team_vs_dispatch"}));
+  ASSERT_EQ(narrow->rows.size(), 2u);
+  for (const auto& row : narrow->rows) {
+    // Timings are machine-dependent; what the schema guarantees is that
+    // every backend ran (positive times) and the ratios are recorded.
+    EXPECT_GT(row[3].number(), 0.0);
+    EXPECT_GT(row[4].number(), 0.0);
+    EXPECT_GT(row[5].number(), 0.0);
+    EXPECT_GT(row[6].number(), 0.0);
+    EXPECT_GT(row[7].number(), 0.0);
+  }
+  // Default-off: no table without the spec key (golden baselines).
+  spec.fp_narrow_sizes = "";
+  const ScenarioResult bare = run_scenario(spec);
+  for (const ResultTable& t : bare.tables) {
+    EXPECT_NE(t.name, "fp_narrow");
   }
 }
 
