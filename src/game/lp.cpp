@@ -3,6 +3,8 @@
 #include <cmath>
 #include <limits>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "runtime/parallel_reduce.h"
 #include "util/error.h"
 
@@ -26,6 +28,7 @@ const char* lp_pricing_name(LpPricing pricing) {
 
 LpSolution solve_lp(const LpProblem& problem, runtime::Executor* executor,
                     const LpConfig& config) {
+  obs::Span span("simplex", "solver");
   const std::size_t m = problem.a.rows();
   const std::size_t n = problem.a.cols();
   PG_CHECK(m > 0 && n > 0, "solve_lp: empty problem");
@@ -124,6 +127,17 @@ LpSolution solve_lp(const LpProblem& problem, runtime::Executor* executor,
     ++sol.iterations;
     PG_ASSERT(sol.iterations <= max_iters,
               "simplex failed to terminate (cycling despite Bland's rule?)");
+  }
+
+  {
+    static obs::Counter& pivots = obs::counter("obs.lp.pivots");
+    pivots.add(sol.iterations);
+    if (config.pricing == LpPricing::kDantzig &&
+        sol.iterations > dantzig_budget) {
+      static obs::Counter& fallbacks =
+          obs::counter("obs.lp.dantzig_fallbacks");
+      fallbacks.add(1);
+    }
   }
 
   sol.status = LpStatus::kOptimal;

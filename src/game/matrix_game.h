@@ -77,6 +77,10 @@ struct Equilibrium {
   MixedStrategy row_strategy;
   MixedStrategy col_strategy;
   double value = 0.0;  // game value (payoff to the row player)
+  /// Work the solver actually did: simplex pivots for the LP solver, the
+  /// configured iteration count for the iterative solvers. Telemetry
+  /// only -- never part of the equilibrium comparison.
+  std::size_t iterations = 0;
 };
 
 }  // namespace pg::game

@@ -6,11 +6,27 @@
 #include <memory>
 
 #include "game/lp.h"
+#include "obs/trace.h"
 #include "runtime/parallel_reduce.h"
 #include "runtime/persistent_team.h"
 #include "util/error.h"
 
 namespace pg::game {
+
+void ConvergenceTrace::push(std::size_t iteration, double gap) {
+  if (!wants(iteration)) return;
+  samples.push_back({iteration, gap});
+  if (samples.size() >= max_samples) {
+    // Keep every other sample (iterations at multiples of the doubled
+    // stride, since recording started at 0) and coarsen future pushes.
+    std::size_t kept = 0;
+    for (std::size_t i = 0; i < samples.size(); i += 2) {
+      samples[kept++] = samples[i];
+    }
+    samples.resize(kept);
+    stride *= 2;
+  }
+}
 
 namespace {
 
@@ -86,6 +102,7 @@ std::size_t team_chunks(std::size_t dim, std::size_t workers) {
 Equilibrium solve_lp_equilibrium(const MatrixGame& game,
                                  runtime::Executor* executor,
                                  const LpConfig& lp) {
+  obs::Span span("lp_equilibrium", "solver");
   const std::size_t m = game.num_rows();
   const std::size_t n = game.num_cols();
 
@@ -139,12 +156,14 @@ Equilibrium solve_lp_equilibrium(const MatrixGame& game,
   }
   eq.row_strategy = normalize(std::move(eq.row_strategy));
   eq.col_strategy = normalize(std::move(eq.col_strategy));
+  eq.iterations = sol.iterations;
   return eq;
 }
 
 Equilibrium solve_fictitious_play(const MatrixGame& game,
                                   const IterativeConfig& config,
                                   runtime::Executor* executor) {
+  obs::Span span("fictitious_play", "solver");
   PG_CHECK(config.iterations >= 1, "iterations must be >= 1");
   const std::size_t m = game.num_rows();
   const std::size_t n = game.num_cols();
@@ -249,18 +268,29 @@ Equilibrium solve_fictitious_play(const MatrixGame& game,
     }
     row_action = row_best.index;
     col_action = col_best.index;
+
+    // Duality-gap estimate, free: the extrema just folded ARE the
+    // best-response cumulative payoffs against t+1 plays of history, so
+    // their normalized difference brackets the game value from both
+    // sides. Read-only on the trajectory.
+    if (config.trace != nullptr && config.trace->wants(t)) {
+      const double plays = static_cast<double>(t + 1);
+      config.trace->push(t, (row_best.value - col_best.value) / plays);
+    }
   }
 
   Equilibrium eq;
   eq.row_strategy = normalize(std::move(row_counts));
   eq.col_strategy = normalize(std::move(col_counts));
   eq.value = game.expected_payoff(eq.row_strategy, eq.col_strategy);
+  eq.iterations = config.iterations;
   return eq;
 }
 
 Equilibrium solve_multiplicative_weights(const MatrixGame& game,
                                          const IterativeConfig& config,
                                          runtime::Executor* executor) {
+  obs::Span span("multiplicative_weights", "solver");
   PG_CHECK(config.iterations >= 1, "iterations must be >= 1");
   const std::size_t m = game.num_rows();
   const std::size_t n = game.num_cols();
@@ -365,12 +395,29 @@ Equilibrium solve_multiplicative_weights(const MatrixGame& game,
     for (std::size_t j = 0; j < n; ++j) {
       col_logw[j] -= eta_col * (col_pay[j] - lo) / range;
     }
+
+    // Exploitability spread of this round's mixtures: the best pure
+    // deviation for each player against the opponent's current play.
+    // O(m + n) scan over payoffs already in hand, and only on sampled
+    // iterations; read-only on the trajectory.
+    if (config.trace != nullptr && config.trace->wants(t)) {
+      double row_best = row_pay[0];
+      for (std::size_t i = 1; i < m; ++i) {
+        row_best = std::max(row_best, row_pay[i]);
+      }
+      double col_best = col_pay[0];
+      for (std::size_t j = 1; j < n; ++j) {
+        col_best = std::min(col_best, col_pay[j]);
+      }
+      config.trace->push(t, row_best - col_best);
+    }
   }
 
   Equilibrium eq;
   eq.row_strategy = normalize(std::move(row_avg));
   eq.col_strategy = normalize(std::move(col_avg));
   eq.value = game.expected_payoff(eq.row_strategy, eq.col_strategy);
+  eq.iterations = config.iterations;
   return eq;
 }
 

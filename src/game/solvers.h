@@ -27,6 +27,7 @@
 #pragma once
 
 #include <cstddef>
+#include <vector>
 
 #include "game/lp.h"
 #include "game/matrix_game.h"
@@ -52,12 +53,44 @@ namespace pg::game {
 /// backend returns bit-identical equilibria.
 enum class IterativeBackend { kAuto, kDispatch, kTeam };
 
+/// One convergence measurement: the duality-gap estimate after
+/// `iteration` steps (best-response payoff vs. the running average for
+/// fictitious play; instantaneous exploitability spread for Hedge).
+struct ConvergenceSample {
+  std::size_t iteration = 0;
+  double gap = 0.0;
+};
+
+/// Bounded-memory per-iteration gap recorder. push() keeps every
+/// `stride`-th iteration; when the buffer reaches `max_samples` it drops
+/// every other retained sample and doubles the stride, so memory stays
+/// O(max_samples) for any iteration count while coverage stays uniform
+/// from iteration 0 to the end. wants() lets callers skip the gap
+/// computation itself on iterations that would not be recorded.
+///
+/// Telemetry is observation only: attaching a trace must not change the
+/// solver trajectory, so solvers may only READ solver state to fill it.
+struct ConvergenceTrace {
+  std::size_t max_samples = 256;
+  std::size_t stride = 1;
+  std::vector<ConvergenceSample> samples;
+
+  [[nodiscard]] bool wants(std::size_t iteration) const {
+    return iteration % stride == 0;
+  }
+  void push(std::size_t iteration, double gap);
+};
+
 struct IterativeConfig {
   std::size_t iterations = 10000;
   /// Hedge learning rate; <= 0 means use the theory rate
   /// sqrt(8 ln K / T) per player.
   double learning_rate = 0.0;
   IterativeBackend backend = IterativeBackend::kAuto;
+  /// Optional convergence recorder (owned by the caller, may be null).
+  /// Null skips all gap computation; the solve itself is identical
+  /// either way.
+  ConvergenceTrace* trace = nullptr;
 };
 
 /// Fictitious play: both players best-respond to the opponent's empirical

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/trace.h"
 #include "util/error.h"
 
 namespace pg::ml {
@@ -30,6 +31,10 @@ SvmTrainer::SvmTrainer(SvmConfig config) : config_(config) {
 
 LinearModel SvmTrainer::train(const data::Dataset& train,
                               util::Rng& rng) const {
+  // The SGD solve is the inner "solver" of every payoff cell; tracing it
+  // under the same category as the game solvers makes retrain cost
+  // directly comparable to equilibrium cost in one trace.
+  obs::Span span("sgd_svm", "solver");
   PG_CHECK(!train.empty(), "SvmTrainer: empty training set");
   const std::size_t n = train.size();
   const std::size_t d = train.dim();

@@ -1,0 +1,186 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <mutex>
+
+namespace pg::obs {
+
+#ifndef PG_OBS_DISABLED
+
+namespace detail {
+
+std::size_t thread_shard() noexcept {
+  // Derive a stable slot from the address of a thread_local byte: cheap,
+  // no TLS counter handshake, and uniform enough once divided by the
+  // typical TLS slot stride.
+  static thread_local const char anchor = 0;
+  const auto bits = reinterpret_cast<std::uintptr_t>(&anchor);
+  return static_cast<std::size_t>((bits >> 6) ^ (bits >> 12)) %
+         kMetricShards;
+}
+
+}  // namespace detail
+
+std::uint64_t Counter::value() const noexcept {
+  std::uint64_t sum = 0;
+  for (const auto& shard : shards_) {
+    sum += shard.value.load(std::memory_order_relaxed);
+  }
+  return sum;
+}
+
+void Counter::reset() noexcept {
+  for (auto& shard : shards_) {
+    shard.value.store(0, std::memory_order_relaxed);
+  }
+}
+
+void Timer::record_ns(std::uint64_t ns) noexcept {
+  Shard& s = shards_[detail::thread_shard()];
+  s.count.fetch_add(1, std::memory_order_relaxed);
+  s.total.fetch_add(ns, std::memory_order_relaxed);
+  std::uint64_t seen = s.min.load(std::memory_order_relaxed);
+  while (ns < seen &&
+         !s.min.compare_exchange_weak(seen, ns, std::memory_order_relaxed)) {
+  }
+  seen = s.max.load(std::memory_order_relaxed);
+  while (ns > seen &&
+         !s.max.compare_exchange_weak(seen, ns, std::memory_order_relaxed)) {
+  }
+}
+
+Timer::Stats Timer::stats() const noexcept {
+  Stats out;
+  out.min_ns = ~0ULL;
+  for (const auto& s : shards_) {
+    out.count += s.count.load(std::memory_order_relaxed);
+    out.total_ns += s.total.load(std::memory_order_relaxed);
+    out.min_ns = std::min(out.min_ns, s.min.load(std::memory_order_relaxed));
+    out.max_ns = std::max(out.max_ns, s.max.load(std::memory_order_relaxed));
+  }
+  if (out.count == 0) out.min_ns = 0;
+  return out;
+}
+
+void Timer::reset() noexcept {
+  for (auto& s : shards_) {
+    s.count.store(0, std::memory_order_relaxed);
+    s.total.store(0, std::memory_order_relaxed);
+    s.min.store(~0ULL, std::memory_order_relaxed);
+    s.max.store(0, std::memory_order_relaxed);
+  }
+}
+
+namespace {
+
+// One entry per registered name. unique_ptr gives stable addresses across
+// map rebalancing, so references handed out stay valid forever. std::map
+// keeps snapshot order sorted without a second pass.
+struct Registry {
+  std::mutex mu;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges;
+  std::map<std::string, std::unique_ptr<Timer>, std::less<>> timers;
+};
+
+Registry& registry() {
+  static Registry* r = new Registry();  // leaked: outlive every thread
+  return *r;
+}
+
+template <class Map>
+auto& find_or_insert(Map& map, std::string_view name) {
+  auto it = map.find(name);
+  if (it == map.end()) {
+    it = map.emplace(std::string(name),
+                     std::make_unique<typename Map::mapped_type::element_type>())
+             .first;
+  }
+  return *it->second;
+}
+
+}  // namespace
+
+Counter& counter(std::string_view name) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  return find_or_insert(r.counters, name);
+}
+
+Gauge& gauge(std::string_view name) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  return find_or_insert(r.gauges, name);
+}
+
+Timer& timer(std::string_view name) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  return find_or_insert(r.timers, name);
+}
+
+std::vector<MetricSnapshot> snapshot_metrics() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  std::vector<MetricSnapshot> out;
+  out.reserve(r.counters.size() + r.gauges.size() + r.timers.size());
+  constexpr double kNsToMs = 1e-6;
+  for (const auto& [name, c] : r.counters) {
+    MetricSnapshot m;
+    m.name = name;
+    m.kind = MetricSnapshot::Kind::kCounter;
+    m.count = c->value();
+    out.push_back(std::move(m));
+  }
+  for (const auto& [name, g] : r.gauges) {
+    MetricSnapshot m;
+    m.name = name;
+    m.kind = MetricSnapshot::Kind::kGauge;
+    m.count = g->max();
+    out.push_back(std::move(m));
+  }
+  for (const auto& [name, t] : r.timers) {
+    const Timer::Stats s = t->stats();
+    MetricSnapshot m;
+    m.name = name;
+    m.kind = MetricSnapshot::Kind::kTimer;
+    m.count = s.count;
+    m.total_ms = static_cast<double>(s.total_ns) * kNsToMs;
+    m.min_ms = static_cast<double>(s.min_ns) * kNsToMs;
+    m.max_ms = static_cast<double>(s.max_ns) * kNsToMs;
+    out.push_back(std::move(m));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const MetricSnapshot& a, const MetricSnapshot& b) {
+              return a.name < b.name;
+            });
+  return out;
+}
+
+void reset_metrics() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  for (auto& [name, c] : r.counters) c->reset();
+  for (auto& [name, g] : r.gauges) g->reset();
+  for (auto& [name, t] : r.timers) t->reset();
+}
+
+#else  // PG_OBS_DISABLED
+
+namespace {
+Counter g_noop_counter;
+Gauge g_noop_gauge;
+Timer g_noop_timer;
+}  // namespace
+
+Counter& counter(std::string_view) { return g_noop_counter; }
+Gauge& gauge(std::string_view) { return g_noop_gauge; }
+Timer& timer(std::string_view) { return g_noop_timer; }
+std::vector<MetricSnapshot> snapshot_metrics() { return {}; }
+void reset_metrics() {}
+
+#endif  // PG_OBS_DISABLED
+
+}  // namespace pg::obs

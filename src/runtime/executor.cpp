@@ -7,6 +7,7 @@
 #include <mutex>
 #include <thread>
 
+#include "obs/metrics.h"
 #include "util/error.h"
 
 namespace pg::runtime {
@@ -140,9 +141,13 @@ void ThreadPoolExecutor::parallel_for(
     // fine-grained loops routed here, inline beats re-dispatch -- coarse
     // bodies use parallel_for_nested instead). Identical results by the
     // determinism contract.
+    static obs::Counter& inline_loops = obs::counter("obs.exec.inline");
+    inline_loops.add(1);
     for (std::size_t i = begin; i < end; ++i) fn(i);
     return;
   }
+  static obs::Counter& dispatched = obs::counter("obs.exec.dispatch");
+  dispatched.add(1);
   dispatch(begin, end, grain, chunks, fn);
 }
 
@@ -156,9 +161,13 @@ void ThreadPoolExecutor::parallel_for_nested(
   const std::size_t count = end - begin;
   const std::size_t chunks = (count + grain - 1) / grain;
   if (chunks == 1 || pool_.size() == 1) {
+    static obs::Counter& inline_loops = obs::counter("obs.exec.inline");
+    inline_loops.add(1);
     for (std::size_t i = begin; i < end; ++i) fn(i);
     return;
   }
+  static obs::Counter& dispatched = obs::counter("obs.exec.dispatch");
+  dispatched.add(1);
   dispatch(begin, end, grain, chunks, fn);
 }
 

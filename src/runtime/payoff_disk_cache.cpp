@@ -8,6 +8,7 @@
 #include <tuple>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "util/env.h"
 #include "util/logging.h"
 
@@ -129,10 +130,14 @@ std::size_t DiskPayoffCache::load(std::uint64_t shard,
   buf << in.rdbuf();
   std::vector<std::pair<std::uint64_t, double>> entries;
   if (!decode(buf.str(), entries)) {
+    static obs::Counter& failures = obs::counter("obs.disk.checksum_failures");
+    failures.add(1);
     util::log_warn() << "payoff disk cache: ignoring corrupt shard " << path;
     return 0;
   }
   into.preload(entries);
+  static obs::Counter& loaded = obs::counter("obs.disk.entries_loaded");
+  loaded.add(entries.size());
   return entries.size();
 }
 
@@ -170,6 +175,8 @@ std::size_t DiskPayoffCache::save(std::uint64_t shard,
     std::filesystem::remove(tmp, ec);
     return 0;
   }
+  static obs::Counter& saved = obs::counter("obs.disk.entries_saved");
+  saved.add(entries.size());
   return entries.size();
 }
 
@@ -216,6 +223,8 @@ std::size_t DiskPayoffCache::enforce_max_bytes() const {
     ++evicted;
   }
   if (evicted > 0) {
+    static obs::Counter& obs_evicted = obs::counter("obs.disk.shards_evicted");
+    obs_evicted.add(evicted);
     util::log_warn() << "payoff disk cache: evicted " << evicted
                      << " oldest shard(s) to fit " << max_bytes_
                      << " bytes in " << dir_;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/error.h"
 
 namespace pg::runtime {
@@ -33,18 +35,24 @@ std::uint64_t ContentKey::digest() const noexcept {
 }
 
 bool PayoffCache::lookup(std::uint64_t key, double& value) const {
+  static obs::Counter& obs_hits = obs::counter("obs.cache.hits");
+  static obs::Counter& obs_misses = obs::counter("obs.cache.misses");
   std::lock_guard<std::mutex> lock(mutex_);
   const auto it = map_.find(key);
   if (it == map_.end()) {
     ++stats_.misses;
+    obs_misses.add(1);
     return false;
   }
   ++stats_.hits;
+  obs_hits.add(1);
   value = it->second;
   return true;
 }
 
 void PayoffCache::store(std::uint64_t key, double value) {
+  static obs::Counter& obs_stores = obs::counter("obs.cache.stores");
+  obs_stores.add(1);
   std::lock_guard<std::mutex> lock(mutex_);
   map_.emplace(key, value);
 }
@@ -86,6 +94,8 @@ std::vector<double> PayoffEvaluator::evaluate_cells(std::size_t count,
                                                     const CellFn& cell,
                                                     const KeyFn& key) const {
   PG_CHECK(cell != nullptr, "PayoffEvaluator: null cell function");
+  obs::Span span("evaluate_cells", "payoff");
+  static obs::Counter& obs_retrains = obs::counter("obs.cache.retrains");
   std::vector<double> values(count, 0.0);
   // Nesting-aware dispatch: payoff cells are coarse (a retrain each), so
   // even when this evaluator runs inside an outer pool task -- a sweep
@@ -102,11 +112,13 @@ std::vector<double> PayoffEvaluator::evaluate_cells(std::size_t count,
       }
       values[i] = cell(i);
       computed_.fetch_add(1, std::memory_order_relaxed);
+      obs_retrains.add(1);
       cache_->store(k, values[i]);
       return;
     }
     values[i] = cell(i);
     computed_.fetch_add(1, std::memory_order_relaxed);
+    obs_retrains.add(1);
   });
   return values;
 }

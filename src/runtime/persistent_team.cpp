@@ -1,5 +1,7 @@
 #include "runtime/persistent_team.h"
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/error.h"
 
 namespace pg::runtime {
@@ -32,16 +34,21 @@ PersistentTeam::~PersistentTeam() {
 }
 
 void PersistentTeam::worker_loop(std::size_t rank) {
+  // Worker-lifetime span: in a trace, the gaps between the job spans on
+  // this row ARE the barrier idle time.
+  obs::Span lifetime("team_worker", "team");
   std::uint64_t seen = 0;
   for (;;) {
     // Wait for the next generation (or shutdown): spin-yield first, park
     // on the condition variable only when the team has gone quiet.
     std::uint64_t gen = generation_.load(std::memory_order_acquire);
     int spin = 0;
+    bool parked = false;
     while (gen == seen && !stop_.load(std::memory_order_acquire)) {
       if (++spin <= kSpinRounds) {
         std::this_thread::yield();
       } else {
+        parked = true;
         std::unique_lock<std::mutex> lock(sleep_mutex_);
         cv_.wait(lock, [this, seen] {
           return generation_.load(std::memory_order_acquire) != seen ||
@@ -50,11 +57,20 @@ void PersistentTeam::worker_loop(std::size_t rank) {
       }
       gen = generation_.load(std::memory_order_acquire);
     }
+    if (spin > 0) {
+      // One wait per generation crossing, classified by how it resolved:
+      // inside the spin window (cheap) or via the futex-backed condition
+      // variable (a wake-up, as long as a whole solver iteration).
+      static obs::Counter& spins = obs::counter("obs.team.spin_waits");
+      static obs::Counter& futexes = obs::counter("obs.team.futex_waits");
+      (parked ? futexes : spins).add(1);
+    }
     if (stop_.load(std::memory_order_acquire)) return;
     seen = gen;
 
     // job_ was published before the generation bump we just acquired.
     try {
+      obs::Span span("team_job", "team");
       (*job_)(rank);
     } catch (...) {
       std::lock_guard<std::mutex> lock(error_mutex_);
@@ -81,6 +97,8 @@ void PersistentTeam::run(const std::function<void(std::size_t)>& job) {
   job_ = &job;
   arrived_.store(0, std::memory_order_relaxed);
   generation_.fetch_add(1, std::memory_order_release);
+  static obs::Counter& generations = obs::counter("obs.team.generations");
+  generations.add(1);
   {
     std::lock_guard<std::mutex> lock(sleep_mutex_);
   }

@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/error.h"
 
 namespace pg::runtime {
@@ -12,6 +14,14 @@ namespace {
 /// microseconds apart; a short spin keeps workers hot across that gap
 /// without burning meaningful CPU when the pool is genuinely idle.
 constexpr int kSpinRounds = 64;
+
+/// Static span name per task nesting depth: depth is almost always 1 or
+/// 2, and a fixed name keeps the traced hot path free of string builds.
+const char* task_span_name(std::size_t depth) {
+  if (depth <= 1) return "worker_task";
+  if (depth == 2) return "worker_task_d2";
+  return "worker_task_deep";
+}
 }  // namespace
 
 std::size_t default_thread_count() noexcept {
@@ -20,6 +30,13 @@ std::size_t default_thread_count() noexcept {
 }
 
 ThreadPool::ThreadPool(std::size_t threads) {
+  // Register the full obs.pool.* family up front so the metric SET is
+  // deterministic: a run with zero steals still reports tasks_stolen=0
+  // instead of omitting the key (consumers assert on presence).
+  (void)obs::counter("obs.pool.tasks_executed");
+  (void)obs::counter("obs.pool.tasks_stolen");
+  (void)obs::counter("obs.pool.tasks_inline");
+  (void)obs::gauge("obs.pool.queue_high_water");
   const std::size_t n = threads == 0 ? default_thread_count() : threads;
   deques_.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
@@ -51,7 +68,10 @@ void ThreadPool::submit(std::function<void()> task, std::size_t depth) {
   // Increment BEFORE publishing the task: a pop can only follow the push,
   // so the matching decrement can never land first and transiently wrap
   // the counter. A worker waking in the window just finds nothing yet.
-  pending_.fetch_add(1, std::memory_order_release);
+  const std::size_t queued =
+      pending_.fetch_add(1, std::memory_order_release) + 1;
+  static obs::Gauge& high_water = obs::gauge("obs.pool.queue_high_water");
+  high_water.record(queued);
   {
     std::lock_guard<std::mutex> lock(deques_[victim]->mutex);
     deques_[victim]->tasks.push_back(Task{std::move(task), depth});
@@ -62,8 +82,8 @@ void ThreadPool::submit(std::function<void()> task, std::size_t depth) {
   cv_.notify_one();
 }
 
-std::function<void()> ThreadPool::take_task(std::size_t self,
-                                            std::size_t min_depth) {
+ThreadPool::Task ThreadPool::take_task(std::size_t self,
+                                       std::size_t min_depth) {
   const std::size_t n = deques_.size();
   for (std::size_t k = 0; k < n; ++k) {
     const std::size_t victim = (self + k) % n;
@@ -76,24 +96,30 @@ std::function<void()> ThreadPool::take_task(std::size_t self,
     // not be diverted into outer-level work -- and take the first
     // eligible one. Skipped entries stay queued for the workers' own
     // unconstrained (min_depth == 0) scans.
-    std::function<void()> task;
+    Task task;
     if (victim == self) {
       for (auto it = d.tasks.rbegin(); it != d.tasks.rend(); ++it) {
         if (it->depth < min_depth) continue;
-        task = std::move(it->fn);
+        task = std::move(*it);
         d.tasks.erase(std::next(it).base());
         break;
       }
     } else {
       for (auto it = d.tasks.begin(); it != d.tasks.end(); ++it) {
         if (it->depth < min_depth) continue;
-        task = std::move(it->fn);
+        task = std::move(*it);
         d.tasks.erase(it);
         break;
       }
     }
-    if (!task) continue;
+    if (!task.fn) continue;
     pending_.fetch_sub(1, std::memory_order_relaxed);
+    if (victim != self && self < n) {
+      // A worker crossing deques is a genuine steal; external threads
+      // (self == n) are counted at their call sites instead.
+      static obs::Counter& stolen = obs::counter("obs.pool.tasks_stolen");
+      stolen.add(1);
+    }
     return task;
   }
   return {};
@@ -102,22 +128,25 @@ std::function<void()> ThreadPool::take_task(std::size_t self,
 bool ThreadPool::try_run_one(std::size_t min_depth) {
   // size() as `self` never equals a worker index, so the scan is
   // steal-only and starts at deque 0.
-  std::function<void()> task = take_task(deques_.size(), min_depth);
-  if (!task) return false;
-  task();
+  Task task = take_task(deques_.size(), min_depth);
+  if (!task.fn) return false;
+  static obs::Counter& inline_runs = obs::counter("obs.pool.tasks_inline");
+  inline_runs.add(1);
+  obs::Span span(task_span_name(task.depth), "pool");
+  task.fn();
   return true;
 }
 
 void ThreadPool::worker_loop(std::size_t index) {
   for (;;) {
     if (stop_.load(std::memory_order_acquire)) return;
-    std::function<void()> task = take_task(index, 0);
-    for (int spin = 0; !task && spin < kSpinRounds; ++spin) {
+    Task task = take_task(index, 0);
+    for (int spin = 0; !task.fn && spin < kSpinRounds; ++spin) {
       if (stop_.load(std::memory_order_acquire)) return;
       std::this_thread::yield();
       task = take_task(index, 0);
     }
-    if (!task) {
+    if (!task.fn) {
       std::unique_lock<std::mutex> lock(sleep_mutex_);
       cv_.wait(lock, [this] {
         return stop_.load(std::memory_order_acquire) ||
@@ -125,7 +154,10 @@ void ThreadPool::worker_loop(std::size_t index) {
       });
       continue;  // re-check stop_ and race for the task at the loop top
     }
-    task();  // exceptions are the task's responsibility (see executor.cpp)
+    static obs::Counter& executed = obs::counter("obs.pool.tasks_executed");
+    executed.add(1);
+    obs::Span span(task_span_name(task.depth), "pool");
+    task.fn();  // exceptions are the task's responsibility (see executor.cpp)
   }
 }
 

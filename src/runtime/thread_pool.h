@@ -91,9 +91,10 @@ class ThreadPool {
   /// Own deque back (LIFO), then steal the other deques' fronts (FIFO),
   /// skipping entries shallower than `min_depth` (a skipped entry stays
   /// for the unconstrained worker loop to take). `self` == size() means
-  /// "external thread": steal-only, fair scan.
-  [[nodiscard]] std::function<void()> take_task(std::size_t self,
-                                                std::size_t min_depth);
+  /// "external thread": steal-only, fair scan. Returns the whole Task
+  /// (empty fn = nothing eligible) so the caller can tag its trace span
+  /// with the task's nesting depth.
+  [[nodiscard]] Task take_task(std::size_t self, std::size_t min_depth);
 
   std::vector<std::unique_ptr<Deque>> deques_;
   std::vector<std::thread> workers_;

@@ -30,6 +30,18 @@ std::string read_file(const std::string& path) {
   return text.str();
 }
 
+/// Fail fast on an unwritable output path, BEFORE the run: opening for
+/// append creates the file if missing but leaves existing content alone,
+/// so probing costs nothing and a hours-long sweep cannot die at the
+/// write-out step (mirroring the unwritable-cache-dir degradation
+/// contract -- except outputs are the point of the run, so this is a
+/// hard error, not a downgrade).
+void ensure_writable(const std::string& path, const std::string& what) {
+  std::ofstream probe(path, std::ios::app);
+  PG_CHECK(static_cast<bool>(probe),
+           "cannot write " + what + ": " + path);
+}
+
 /// `pg_run --compare baseline candidate`: structured regression diff.
 /// Exit 0 when every aligned value is within tolerance, 1 on drift or
 /// shape changes -- unless --update-baseline, which accepts the
@@ -43,6 +55,7 @@ int run_compare(const CliOptions& options, std::ostream& out,
   DiffOptions diff_options;
   diff_options.tolerance = options.tolerance;
   diff_options.ignore_timing = !options.with_timing;
+  diff_options.ignore_telemetry = !options.with_telemetry;
   const ResultDiff diff = diff_results(baseline, candidate, diff_options);
 
   out << "comparing " << options.compare_baseline << " (baseline) vs "
@@ -107,6 +120,8 @@ CliOptions parse_cli(const std::vector<std::string>& args) {
       options.update_baseline = true;
     } else if (arg == "--with-timing") {
       options.with_timing = true;
+    } else if (arg == "--with-telemetry") {
+      options.with_telemetry = true;
     } else if (arg == "--cache-max-bytes") {
       options.overrides.emplace_back("cache_max_bytes",
                                      flag_value(args, i, arg));
@@ -120,6 +135,11 @@ CliOptions parse_cli(const std::vector<std::string>& args) {
       options.out_format = flag_value(args, i, arg);
     } else if (arg == "--out-file") {
       options.out_file = flag_value(args, i, arg);
+    } else if (arg == "--trace") {
+      options.overrides.emplace_back("trace", flag_value(args, i, arg));
+    } else if (arg == "--metrics-out") {
+      options.metrics_out = flag_value(args, i, arg);
+      options.overrides.emplace_back("metrics", "true");
     } else {
       PG_CHECK(false, "unknown argument: " + arg + "\n" + cli_usage());
     }
@@ -159,12 +179,18 @@ std::string cli_usage() {
       "  --no-cache        disable payoff memoization entirely\n"
       "  --out FORMAT      json | csv | text (default text)\n"
       "  --out-file PATH   write the sink there instead of stdout\n"
+      "  --trace PATH      record a Chrome Trace Event JSON of the run\n"
+      "                    (open in chrome://tracing or Perfetto)\n"
+      "  --metrics-out PATH  write the run's counter/timer snapshot as\n"
+      "                    JSON (implies --set metrics=true)\n"
       "  --print-spec      print the resolved spec and exit\n"
       "\n"
       "compare options (regression triage; exits 1 past tolerance):\n"
       "  --tolerance T       accept |a-b| <= T or relative delta <= T\n"
       "  --update-baseline   overwrite A.json with B.json when they differ\n"
       "  --with-timing       also compare _ms/_seconds wall-clock values\n"
+      "  --with-telemetry    also compare telemetry* tables and obs.*\n"
+      "                    metric keys (skipped by default)\n"
       "\n"
       "Scenario sizes honor the historical PG_BENCH_* env knobs; --set\n"
       "overrides take precedence over both.\n";
@@ -212,6 +238,17 @@ int run_cli(const CliOptions& options, std::ostream& out, std::ostream& err) {
       return 0;
     }
 
+    // Probe every output path BEFORE the run: a typo'd --out-file/--trace/
+    // --metrics-out must be a one-line error now, not a dead artifact
+    // after minutes of compute.
+    if (!options.out_file.empty()) {
+      ensure_writable(options.out_file, "output file");
+    }
+    if (!spec.trace.empty()) ensure_writable(spec.trace, "trace file");
+    if (!options.metrics_out.empty()) {
+      ensure_writable(options.metrics_out, "metrics file");
+    }
+
     const ScenarioResult result = run_scenario(spec);
     if (!options.out_file.empty()) {
       std::ofstream file(options.out_file);
@@ -221,6 +258,13 @@ int run_cli(const CliOptions& options, std::ostream& out, std::ostream& err) {
       out << "wrote " << options.out_file << "\n";
     } else {
       write_result(result, options.out_format, out);
+    }
+    if (!options.metrics_out.empty()) {
+      std::ofstream file(options.metrics_out, std::ios::trunc);
+      PG_CHECK(static_cast<bool>(file),
+               "cannot write metrics file: " + options.metrics_out);
+      write_metrics_json(result.spec.name, file);
+      out << "wrote " << options.metrics_out << "\n";
     }
     return 0;
   } catch (const std::exception& e) {

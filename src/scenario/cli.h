@@ -28,6 +28,11 @@ struct CliOptions {
   std::vector<std::pair<std::string, std::string>> overrides;
   std::string out_format = "text";  // --out json|csv|text
   std::string out_file;             // --out-file <path>; empty = stdout
+  /// --metrics-out <path>: write the run's metrics-registry snapshot
+  /// there as JSON (also desugars to a metrics=true override so the
+  /// registry is reset for the run). --trace desugars to a trace=PATH
+  /// override and lives in `overrides`.
+  std::string metrics_out;
 
   // ---- --compare mode (mutually exclusive with running a scenario) ----
   bool compare = false;
@@ -36,6 +41,9 @@ struct CliOptions {
   double tolerance = 0.0;         // --tolerance t (abs OR rel per value)
   bool update_baseline = false;   // --update-baseline: accept the drift
   bool with_timing = false;       // --with-timing: compare _ms/_seconds too
+  /// --with-telemetry: also compare telemetry* tables and obs.* metric
+  /// keys (skipped by default -- their values are scheduling-dependent).
+  bool with_telemetry = false;
 };
 
 /// Parse argv (excluding argv[0]). Throws std::invalid_argument on

@@ -207,6 +207,19 @@ bool timing_name(const std::string& name) {
          name.find("speedup") != std::string::npos;
 }
 
+/// Telemetry tables (`telemetry`, `telemetry_counters`, `telemetry_timers`)
+/// hold scheduling-dependent observability data -- excluded from gating
+/// unless --with-telemetry.
+bool telemetry_table_name(const std::string& name) {
+  return name.rfind("telemetry", 0) == 0;
+}
+
+/// Registry metric keys are namespaced `obs.`; their values (steal
+/// counts, cache traffic, span timings) vary run to run by design.
+bool telemetry_metric_name(const std::string& name) {
+  return name.rfind("obs.", 0) == 0;
+}
+
 std::string render(const JsonValue& v) {
   switch (v.kind) {
     case JsonValue::Kind::kNull: return "null";
@@ -337,6 +350,7 @@ class Differ {
     }
     for (const auto& [key, value] : a->members) {
       if (options_.ignore_timing && timing_name(key)) continue;
+      if (options_.ignore_telemetry && telemetry_metric_name(key)) continue;
       const JsonValue* other = b->find(key);
       if (other == nullptr) {
         add(DiffKind::kMissing, run + "/metrics/" + key, render(value), "");
@@ -346,6 +360,7 @@ class Differ {
     }
     for (const auto& [key, value] : b->members) {
       if (options_.ignore_timing && timing_name(key)) continue;
+      if (options_.ignore_telemetry && telemetry_metric_name(key)) continue;
       if (a->find(key) == nullptr) {
         add(DiffKind::kExtra, run + "/metrics/" + key, "", render(value));
       }
@@ -379,15 +394,26 @@ class Differ {
       }
       return key;
     };
+    // Telemetry tables are dropped from BOTH sides before alignment (not
+    // merely value-skipped): a metrics=true candidate against a plain
+    // baseline must not report kExtra/kMissing for them.
+    const auto skip_table = [this](const JsonValue& table) {
+      if (!options_.ignore_telemetry) return false;
+      const JsonValue* name = table.find("name");
+      return name != nullptr && name->kind == JsonValue::Kind::kString &&
+             telemetry_table_name(name->text);
+    };
     std::map<std::string, const JsonValue*> b_tables;
     {
       std::map<std::string, std::size_t> seen;
       for (const JsonValue& table : b->items) {
+        if (skip_table(table)) continue;
         b_tables.emplace(table_key(table, seen), &table);
       }
     }
     std::map<std::string, std::size_t> seen;
     for (const JsonValue& table : a->items) {
+      if (skip_table(table)) continue;
       const std::string key = table_key(table, seen);
       const auto it = b_tables.find(key);
       if (it == b_tables.end()) {
@@ -507,11 +533,15 @@ class Differ {
         continue;
       }
       // A sweep_metrics row whose metric name is a timing name is
-      // wall-clock data in row form; skip it like a timing column.
-      if (options_.ignore_timing && metric_column < row->items.size() &&
-          row->items[metric_column].kind == JsonValue::Kind::kString &&
-          timing_name(row->items[metric_column].text)) {
-        continue;
+      // wall-clock data in row form; skip it like a timing column. Same
+      // for rows naming an obs.* registry metric.
+      if (metric_column < row->items.size() &&
+          row->items[metric_column].kind == JsonValue::Kind::kString) {
+        const std::string& metric = row->items[metric_column].text;
+        if (options_.ignore_timing && timing_name(metric)) continue;
+        if (options_.ignore_telemetry && telemetry_metric_name(metric)) {
+          continue;
+        }
       }
       for (std::size_t c = 0; c < row->items.size(); ++c) {
         if (options_.ignore_timing && c < columns.size() &&

@@ -62,6 +62,13 @@ struct DiffOptions {
   /// it off compares timings too (useful for perf triage, never for
   /// regression gating).
   bool ignore_timing = true;
+  /// Skip telemetry output: tables whose name starts with "telemetry"
+  /// (the metrics-registry dumps and solver convergence samples), metric
+  /// keys starting with "obs.", and merged sweep_metrics rows naming
+  /// such a metric. Telemetry values are scheduling-dependent (cache
+  /// hits, steal counts, span timings), so they are excluded from
+  /// regression gating by default; `--with-telemetry` compares them too.
+  bool ignore_telemetry = true;
 };
 
 enum class DiffKind {

@@ -5,6 +5,7 @@
 #include <atomic>
 #include <cmath>
 #include <cstdlib>
+#include <ctime>
 #include <deque>
 #include <mutex>
 #include <fstream>
@@ -32,6 +33,8 @@
 #include "game/best_response.h"
 #include "game/solvers.h"
 #include "la/vector_ops.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "runtime/executor.h"
 #include "runtime/payoff_disk_cache.h"
 #include "runtime/payoff_evaluator.h"
@@ -470,6 +473,24 @@ void run_solver_ablation_scenario(const ScenarioSpec& spec,
                                   runtime::Executor* exec, CacheBundle& bundle,
                                   ScenarioResult& result) {
   const game::LpConfig lp{game::parse_lp_pricing(spec.lp_pricing)};
+  // Opt-in convergence telemetry: one row per decimated gap sample of
+  // each iterative solve. Attaching a recorder is read-only on the
+  // solver trajectory, and the `telemetry` table name keeps the rows out
+  // of golden comparison by default, so telemetry=true cannot move any
+  // compared value.
+  std::optional<ResultTable> convergence;
+  if (spec.telemetry) {
+    convergence.emplace(
+        ResultTable{"telemetry", {"game", "solver", "iteration", "gap"}, {}});
+  }
+  const auto record_convergence = [&](const std::string& game_name,
+                                      const char* solver,
+                                      const game::ConvergenceTrace& trace) {
+    for (const auto& sample : trace.samples) {
+      convergence->add_row(
+          {game_name, solver, sample.iteration, sample.gap});
+    }
+  };
   const auto ablate = [&](const std::string& name,
                           const core::PoisoningGame& game_model) {
     ResultTable table{name,
@@ -496,19 +517,29 @@ void run_solver_ablation_scenario(const ScenarioSpec& spec,
     }
     {
       util::Stopwatch w;
+      game::ConvergenceTrace trace;
       const auto eq = game::solve_fictitious_play(
-          mg, {.iterations = spec.solver_iterations}, exec);
+          mg,
+          {.iterations = spec.solver_iterations,
+           .trace = convergence ? &trace : nullptr},
+          exec);
       table.add_row({"fictitious_play", eq.value,
                      game::exploitability(mg, eq.row_strategy, eq.col_strategy),
                      w.elapsed_ms()});
+      if (convergence) record_convergence(name, "fictitious_play", trace);
     }
     {
       util::Stopwatch w;
+      game::ConvergenceTrace trace;
       const auto eq = game::solve_multiplicative_weights(
-          mg, {.iterations = spec.solver_iterations}, exec);
+          mg,
+          {.iterations = spec.solver_iterations,
+           .trace = convergence ? &trace : nullptr},
+          exec);
       table.add_row({"multiplicative_weights", eq.value,
                      game::exploitability(mg, eq.row_strategy, eq.col_strategy),
                      w.elapsed_ms()});
+      if (convergence) record_convergence(name, "multiplicative_weights", trace);
     }
     result.tables.push_back(std::move(table));
   };
@@ -529,6 +560,7 @@ void run_solver_ablation_scenario(const ScenarioSpec& spec,
   ablate("measured_curves",
          core::PoisoningGame(sim::fit_payoff_curves(sweep),
                              ctx.poison_budget));
+  if (convergence) result.tables.push_back(std::move(*convergence));
 }
 
 // -------------------------------------------------------- defense_ablation
@@ -1051,6 +1083,16 @@ void add_sweep_aggregates(const ScenarioSpec& spec, ScenarioResult& merged) {
                   "table (is the spec a sweep grid?)");
 }
 
+/// Calling thread's cumulative CPU time, for the wall-vs-CPU split in
+/// the per-point timers (a point whose wall time dwarfs its CPU time was
+/// waiting, not computing).
+std::uint64_t thread_cpu_ns() {
+  timespec ts{};
+  clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts);
+  return static_cast<std::uint64_t>(ts.tv_sec) * 1000000000ULL +
+         static_cast<std::uint64_t>(ts.tv_nsec);
+}
+
 using RunnerFn = void (*)(const ScenarioSpec&, runtime::Executor*,
                           CacheBundle&, ScenarioResult&);
 
@@ -1084,6 +1126,13 @@ ScenarioResult run_scenario(const ScenarioSpec& spec) {
   if (!kind_swept) (void)runner_for(spec.kind);
 
   util::Stopwatch watch;
+  // Observability lifecycle: reset the registry when this run will report
+  // metrics (so the snapshot describes THIS run, not the process), and
+  // arm the tracer when a trace path is set. Both are pure observers --
+  // the run below computes exactly the same result with them on or off.
+  if (spec.metrics) obs::reset_metrics();
+  if (!spec.trace.empty()) obs::Tracer::instance().start();
+
   const auto exec = sim::make_executor(spec.threads);
   const std::string cache_dir = !spec.cache_dir.empty()
                                     ? spec.cache_dir
@@ -1097,44 +1146,68 @@ ScenarioResult run_scenario(const ScenarioSpec& spec) {
   result.spec = spec;
   result.executor_threads = exec->concurrency();
 
-  if (plan.empty()) {
-    PG_CHECK(spec.aggregate.empty(),
-             "aggregate requires sweep axes to aggregate over");
-    runner_for(spec.kind)(spec, exec.get(), bundle, result);
-  } else {
-    result.sweep_axes = plan.axis_keys();
-    result.add_metric("sweep_points", plan.size());
-    // POINT-PARALLEL GRID: independent grid points dispatch concurrently
-    // through the nested executor (each point's inner loops still fan
-    // out -- payoff cells use parallel_for_nested, so one late point can
-    // spread across the whole pool). Each point computes into its own
-    // slot; every point's randomness derives from its child spec's seed
-    // (RngStreamFactory streams inside the runners), and the shared
-    // bundle only memoizes content-keyed values -- so results cannot
-    // depend on scheduling, and the serial merge below folds them in
-    // plan order regardless of completion order.
-    std::vector<ScenarioResult> points(plan.size());
-    runtime::parallel_for_nested(
-        exec.get(), 0, plan.size(), 1, [&](std::size_t i) {
-          const ScenarioSpec child = plan.child(i);
-          points[i].spec = child;
-          if (child.threads != spec.threads) {
-            // `threads` is itself a swept axis: this point gets its own
-            // executor (results are thread-count-invariant, so the grid
-            // stays bit-identical either way).
-            const auto child_exec = sim::make_executor(child.threads);
-            runner_for(child.kind)(child, child_exec.get(), bundle,
-                                   points[i]);
-          } else {
-            runner_for(child.kind)(child, exec.get(), bundle, points[i]);
-          }
-        });
-    for (std::size_t i = 0; i < plan.size(); ++i) {
-      merge_sweep_point(plan.coordinates(i), points[i], result);
+  {
+    obs::Span scenario_span("scenario:" + spec.name, "scenario");
+    if (plan.empty()) {
+      PG_CHECK(spec.aggregate.empty(),
+               "aggregate requires sweep axes to aggregate over");
+      runner_for(spec.kind)(spec, exec.get(), bundle, result);
+    } else {
+      result.sweep_axes = plan.axis_keys();
+      result.add_metric("sweep_points", plan.size());
+      // POINT-PARALLEL GRID: independent grid points dispatch concurrently
+      // through the nested executor (each point's inner loops still fan
+      // out -- payoff cells use parallel_for_nested, so one late point can
+      // spread across the whole pool). Each point computes into its own
+      // slot; every point's randomness derives from its child spec's seed
+      // (RngStreamFactory streams inside the runners), and the shared
+      // bundle only memoizes content-keyed values -- so results cannot
+      // depend on scheduling, and the serial merge below folds them in
+      // plan order regardless of completion order.
+      std::vector<ScenarioResult> points(plan.size());
+      runtime::parallel_for_nested(
+          exec.get(), 0, plan.size(), 1, [&](std::size_t i) {
+            obs::Span point_span("grid_point_" + std::to_string(i), "grid");
+            static obs::Timer& wall = obs::timer("obs.engine.point_wall");
+            static obs::Timer& cpu = obs::timer("obs.engine.point_cpu");
+            const obs::ScopedTimer wall_timer(wall);
+            const std::uint64_t cpu_start = thread_cpu_ns();
+            const ScenarioSpec child = plan.child(i);
+            points[i].spec = child;
+            if (child.threads != spec.threads) {
+              // `threads` is itself a swept axis: this point gets its own
+              // executor (results are thread-count-invariant, so the grid
+              // stays bit-identical either way).
+              const auto child_exec = sim::make_executor(child.threads);
+              runner_for(child.kind)(child, child_exec.get(), bundle,
+                                     points[i]);
+            } else {
+              runner_for(child.kind)(child, exec.get(), bundle, points[i]);
+            }
+            cpu.record_ns(thread_cpu_ns() - cpu_start);
+          });
+      for (std::size_t i = 0; i < plan.size(); ++i) {
+        merge_sweep_point(plan.coordinates(i), points[i], result);
+      }
+      add_sweep_aggregates(spec, result);
     }
-    add_sweep_aggregates(spec, result);
+    bundle.finish(result.cache);
   }
-  bundle.finish(result.cache);
+
+  // Fold the run's metrics into the result (diff-excluded `telemetry_*`
+  // tables) and flush the trace AFTER the scenario span closed, so the
+  // file includes it. A failing trace write throws past the result --
+  // the CLI pre-checks writability, so this only fires when the path
+  // went bad mid-run.
+  if (spec.metrics) append_metrics_tables(result);
+  if (!spec.trace.empty()) {
+    std::ofstream trace_out(spec.trace, std::ios::trunc);
+    PG_CHECK(static_cast<bool>(trace_out),
+             "cannot write trace file: " + spec.trace);
+    obs::Tracer::instance().write_chrome_trace(trace_out);
+    PG_CHECK(static_cast<bool>(trace_out),
+             "short write to trace file: " + spec.trace);
+  }
   result.elapsed_seconds = watch.elapsed_seconds();
   return result;
 }

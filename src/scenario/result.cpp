@@ -6,6 +6,7 @@
 #include <ostream>
 #include <sstream>
 
+#include "obs/metrics.h"
 #include "util/error.h"
 #include "util/table.h"
 
@@ -230,6 +231,55 @@ void write_text(const ScenarioResult& result, std::ostream& out) {
   }
   out << "\nelapsed: " << util::format_double(result.elapsed_seconds, 1)
       << "s\n";
+}
+
+void append_metrics_tables(ScenarioResult& result) {
+  const auto snapshot = obs::snapshot_metrics();
+  ResultTable counters{"telemetry_counters", {"metric", "value"}, {}};
+  ResultTable timers{
+      "telemetry_timers",
+      {"metric", "count", "total_ms", "mean_ms", "min_ms", "max_ms"},
+      {}};
+  for (const auto& m : snapshot) {
+    if (m.kind == obs::MetricSnapshot::Kind::kTimer) {
+      const double mean =
+          m.count > 0 ? m.total_ms / static_cast<double>(m.count) : 0.0;
+      timers.add_row(
+          {m.name, m.count, m.total_ms, mean, m.min_ms, m.max_ms});
+    } else {
+      counters.add_row({m.name, m.count});
+    }
+  }
+  result.tables.push_back(std::move(counters));
+  result.tables.push_back(std::move(timers));
+}
+
+void write_metrics_json(const std::string& scenario, std::ostream& out) {
+  const auto snapshot = obs::snapshot_metrics();
+  out << "{\n  \"schema_version\": 1,\n";
+  out << "  \"scenario\": \"" << json_escape(scenario) << "\",\n";
+  out << "  \"metrics\": [";
+  for (std::size_t i = 0; i < snapshot.size(); ++i) {
+    const auto& m = snapshot[i];
+    const char* kind =
+        m.kind == obs::MetricSnapshot::Kind::kTimer
+            ? "timer"
+            : (m.kind == obs::MetricSnapshot::Kind::kGauge ? "gauge"
+                                                           : "counter");
+    if (i > 0) out << ",";
+    out << "\n    {\"name\": \"" << json_escape(m.name) << "\", \"kind\": \""
+        << kind << "\", \"count\": " << m.count;
+    if (m.kind == obs::MetricSnapshot::Kind::kTimer) {
+      const double mean =
+          m.count > 0 ? m.total_ms / static_cast<double>(m.count) : 0.0;
+      out << ", \"total_ms\": " << format_number(m.total_ms)
+          << ", \"mean_ms\": " << format_number(mean)
+          << ", \"min_ms\": " << format_number(m.min_ms)
+          << ", \"max_ms\": " << format_number(m.max_ms);
+    }
+    out << "}";
+  }
+  out << "\n  ]\n}\n";
 }
 
 void write_result(const ScenarioResult& result, const std::string& format,

@@ -106,4 +106,21 @@ void write_text(const ScenarioResult& result, std::ostream& out);
 void write_result(const ScenarioResult& result, const std::string& format,
                   std::ostream& out);
 
+/// Append the current metrics-registry snapshot (src/obs/metrics.h) as
+/// two tables: `telemetry_counters` (metric, value -- counters and
+/// gauges) and `telemetry_timers` (metric, count, total_ms, mean_ms,
+/// min_ms, max_ms). The engine calls this when the spec sets
+/// `metrics=true`. The `telemetry` name prefix keeps both tables out of
+/// golden comparison by default (scenario/diff.h) -- their values are
+/// scheduling-dependent by nature. No-op when PG_OBS is compiled out
+/// (empty snapshot adds empty tables so the section is still visible).
+void append_metrics_tables(ScenarioResult& result);
+
+/// Write the metrics snapshot as a small standalone JSON document:
+/// {"schema_version": 1, "scenario": ..., "metrics": [{name, kind,
+/// count, total_ms, mean_ms, min_ms, max_ms}, ...]}. This is the
+/// `pg_run --metrics-out FILE` payload and the format committed under
+/// bench/snapshots/.
+void write_metrics_json(const std::string& scenario, std::ostream& out);
+
 }  // namespace pg::scenario

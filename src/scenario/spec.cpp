@@ -118,6 +118,9 @@ const std::vector<Field>& field_table() {
       PG_SPEC_FIELD(use_cache),
       PG_SPEC_FIELD(cache_dir),
       PG_SPEC_FIELD(cache_max_bytes),
+      PG_SPEC_FIELD(trace),
+      PG_SPEC_FIELD(metrics),
+      PG_SPEC_FIELD(telemetry),
   };
   return table;
 }

@@ -99,6 +99,24 @@ struct ScenarioSpec {
   /// shards (by modification time) are evicted until it fits.
   std::size_t cache_max_bytes = 0;
 
+  // ---- observability --------------------------------------------------
+  // All three default off, so every committed spec and golden baseline is
+  // untouched; and because tracing/metrics only OBSERVE, turning them on
+  // cannot change a single result value (the golden CI job runs the full
+  // suite both ways to hold that line). See src/obs/.
+  /// Chrome Trace Event JSON output path (empty = tracing off). The
+  /// engine records spans for the whole run and writes the file at the
+  /// end; load it in chrome://tracing or Perfetto.
+  std::string trace;
+  /// Fold a metrics-registry snapshot into the result as
+  /// `telemetry_counters` / `telemetry_timers` tables (diff-excluded by
+  /// default; see scenario/diff.h).
+  bool metrics = false;
+  /// Attach solver convergence recorders where the scenario solves games
+  /// (solver_ablation) and emit a `telemetry` table of decimated
+  /// per-iteration gap samples.
+  bool telemetry = false;
+
   // ---- uniform field access -----------------------------------------
   /// Assign one field from its string form. Throws std::invalid_argument
   /// on an unknown key or a value that does not fully parse.

@@ -6,6 +6,7 @@
 #include "attack/boundary_attack.h"
 #include "defense/distance_filter.h"
 #include "defense/pipeline.h"
+#include "obs/trace.h"
 #include "runtime/rng_stream.h"
 #include "util/error.h"
 #include "util/logging.h"
@@ -89,6 +90,7 @@ PureSweepResult run_pure_sweep(const ExperimentContext& ctx,
   const std::size_t cells = grid.size() * replications;
   std::vector<SweepCell> out(cells);
   runtime::parallel_for_nested(executor, 0, cells, 1, [&](std::size_t c) {
+    obs::Span span("sweep_cell", "payoff");
     const std::size_t gi = c / replications;
     const std::size_t rep = c % replications;
     const double p = grid[gi];

@@ -1,0 +1,485 @@
+// Tests for the observability layer (src/obs/): metrics registry
+// exactness under concurrency, Chrome-trace span emission and per-thread
+// nesting, convergence-trace decimation, telemetry exclusion in the
+// result differ, and the instrumentation-changes-nothing contract.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "game/matrix_game.h"
+#include "game/solvers.h"
+#include "la/matrix.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "scenario/cli.h"
+#include "scenario/diff.h"
+#include "scenario/engine.h"
+#include "scenario/result.h"
+#include "scenario/spec.h"
+
+namespace pg {
+namespace {
+
+using scenario::DiffOptions;
+using scenario::JsonValue;
+using scenario::parse_json;
+
+// --------------------------------------------------------------- metrics
+
+#ifndef PG_OBS_DISABLED
+
+TEST(MetricsTest, ConcurrentCounterFoldsExactly) {
+  obs::Counter& c = obs::counter("test.concurrent_counter");
+  c.reset();
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c] {
+      for (int i = 0; i < kPerThread; ++i) c.add(1);
+    });
+  }
+  for (auto& t : threads) t.join();
+  // Sharded relaxed adds must still fold to the exact total: every
+  // increment lands in exactly one shard, no lost updates.
+  EXPECT_EQ(c.value(), static_cast<std::uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(MetricsTest, CounterAddNAndSameNameSameInstance) {
+  obs::Counter& a = obs::counter("test.addn");
+  obs::Counter& b = obs::counter("test.addn");
+  EXPECT_EQ(&a, &b);  // stable address: call-site caching is sound
+  a.reset();
+  a.add(5);
+  b.add(7);
+  EXPECT_EQ(a.value(), 12u);
+}
+
+TEST(MetricsTest, GaugeRecordsMaximum) {
+  obs::Gauge& g = obs::gauge("test.gauge");
+  g.reset();
+  g.record(3);
+  g.record(11);
+  g.record(7);
+  EXPECT_EQ(g.max(), 11u);
+}
+
+TEST(MetricsTest, TimerCountsExactlyAcrossThreads) {
+  obs::Timer& timer = obs::timer("test.timer");
+  timer.reset();
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 5000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&timer, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        timer.record_ns(static_cast<std::uint64_t>(t * kPerThread + i + 1));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const obs::Timer::Stats stats = timer.stats();
+  EXPECT_EQ(stats.count, static_cast<std::uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(stats.min_ns, 1u);
+  EXPECT_EQ(stats.max_ns,
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+  // Sum of 1..N.
+  const std::uint64_t n = static_cast<std::uint64_t>(kThreads) * kPerThread;
+  EXPECT_EQ(stats.total_ns, n * (n + 1) / 2);
+}
+
+TEST(MetricsTest, SnapshotIsSortedAndTyped) {
+  obs::counter("test.snap_counter").reset();
+  obs::counter("test.snap_counter").add(2);
+  obs::gauge("test.snap_gauge").record(9);
+  obs::timer("test.snap_timer").record_ns(1500000);  // 1.5 ms
+  const std::vector<obs::MetricSnapshot> snap = obs::snapshot_metrics();
+  ASSERT_FALSE(snap.empty());
+  EXPECT_TRUE(std::is_sorted(
+      snap.begin(), snap.end(),
+      [](const auto& a, const auto& b) { return a.name < b.name; }));
+  bool saw_counter = false;
+  bool saw_timer = false;
+  for (const auto& m : snap) {
+    if (m.name == "test.snap_counter") {
+      saw_counter = true;
+      EXPECT_EQ(m.kind, obs::MetricSnapshot::Kind::kCounter);
+      EXPECT_EQ(m.count, 2u);
+    }
+    if (m.name == "test.snap_timer") {
+      saw_timer = true;
+      EXPECT_EQ(m.kind, obs::MetricSnapshot::Kind::kTimer);
+      EXPECT_GE(m.count, 1u);
+      EXPECT_GE(m.total_ms, 1.0);
+    }
+  }
+  EXPECT_TRUE(saw_counter);
+  EXPECT_TRUE(saw_timer);
+}
+
+// ----------------------------------------------------------------- trace
+
+/// Parse a written trace and return its "X" (complete) events.
+std::vector<const JsonValue*> complete_events(const JsonValue& doc) {
+  std::vector<const JsonValue*> out;
+  const JsonValue* events = doc.find("traceEvents");
+  if (events == nullptr) return out;
+  for (const JsonValue& e : events->items) {
+    const JsonValue* ph = e.find("ph");
+    if (ph != nullptr && ph->text == "X") out.push_back(&e);
+  }
+  return out;
+}
+
+TEST(TraceTest, SpansOutsideActiveWindowAreDropped) {
+  obs::Tracer& tracer = obs::Tracer::instance();
+  tracer.stop();
+  { obs::Span dead("never_recorded", "test"); }
+  tracer.start();
+  tracer.stop();
+  std::ostringstream out;
+  tracer.write_chrome_trace(out);
+  const JsonValue doc = parse_json(out.str());
+  for (const JsonValue* e : complete_events(doc)) {
+    const JsonValue* name = e->find("name");
+    ASSERT_NE(name, nullptr);
+    EXPECT_NE(name->text, "never_recorded");
+  }
+}
+
+TEST(TraceTest, ChromeTraceParsesAndSpansNestPerThread) {
+  obs::Tracer& tracer = obs::Tracer::instance();
+  tracer.start();
+  const auto spin = [] {
+    volatile int sink = 0;
+    for (int i = 0; i < 20000; ++i) sink = sink + i;
+  };
+  const auto work = [&spin] {
+    obs::Span outer("outer_span", "test");
+    spin();
+    {
+      obs::Span inner("inner_span", "test");
+      spin();
+    }
+    spin();
+  };
+  std::thread a(work);
+  std::thread b(work);
+  a.join();
+  b.join();
+  std::ostringstream out;
+  tracer.write_chrome_trace(out);
+
+  // The output must be strict JSON parseable by our own reader -- the
+  // same guarantee chrome://tracing / Perfetto rely on.
+  const JsonValue doc = parse_json(out.str());
+  const auto events = complete_events(doc);
+
+  // Both threads contributed an outer and an inner span.
+  int outer_count = 0;
+  int inner_count = 0;
+  for (const JsonValue* e : events) {
+    const std::string& name = e->find("name")->text;
+    if (name == "outer_span") ++outer_count;
+    if (name == "inner_span") ++inner_count;
+  }
+  EXPECT_EQ(outer_count, 2);
+  EXPECT_EQ(inner_count, 2);
+
+  // Per thread id, inner must be contained in outer (proper nesting)
+  // and tagged one level deeper.
+  for (const JsonValue* outer : events) {
+    if (outer->find("name")->text != "outer_span") continue;
+    const double otid = outer->find("tid")->number;
+    const double ots = outer->find("ts")->number;
+    const double odur = outer->find("dur")->number;
+    const double odepth = outer->find("args")->find("depth")->number;
+    bool found_inner = false;
+    for (const JsonValue* inner : events) {
+      if (inner->find("name")->text != "inner_span") continue;
+      if (inner->find("tid")->number != otid) continue;
+      found_inner = true;
+      const double its = inner->find("ts")->number;
+      const double idur = inner->find("dur")->number;
+      EXPECT_GE(its, ots);
+      EXPECT_LE(its + idur, ots + odur + 1e-3);  // fractional-us rounding
+      EXPECT_EQ(inner->find("args")->find("depth")->number, odepth + 1);
+    }
+    EXPECT_TRUE(found_inner);
+  }
+}
+
+TEST(TraceTest, PerThreadEventCapCountsDrops) {
+  obs::Tracer& tracer = obs::Tracer::instance();
+  tracer.start();
+  for (std::size_t i = 0; i < obs::kMaxEventsPerThread + 100; ++i) {
+    obs::Span s("cap_filler", "test");
+  }
+  tracer.stop();
+  EXPECT_GE(tracer.dropped_events(), 100u);
+  std::ostringstream out;
+  tracer.write_chrome_trace(out);
+  const JsonValue doc = parse_json(out.str());
+  const JsonValue* other = doc.find("otherData");
+  ASSERT_NE(other, nullptr);
+  const JsonValue* dropped = other->find("dropped_events");
+  ASSERT_NE(dropped, nullptr);
+  EXPECT_GE(dropped->number, 100.0);
+}
+
+#endif  // PG_OBS_DISABLED
+
+// --------------------------------------------------- convergence trace
+
+TEST(ConvergenceTraceTest, DecimationBoundsMemory) {
+  game::ConvergenceTrace trace;
+  constexpr std::size_t kIterations = 300000;
+  for (std::size_t t = 0; t < kIterations; ++t) {
+    if (trace.wants(t)) trace.push(t, 1.0 / static_cast<double>(t + 1));
+  }
+  // Bounded: never exceeds the cap no matter how many iterations ran.
+  EXPECT_LE(trace.samples.size(), trace.max_samples);
+  EXPECT_GE(trace.samples.size(), trace.max_samples / 4);
+  // Coverage: first sample at iteration 0, last within one (doubled)
+  // stride of the end, iterations strictly increasing throughout.
+  ASSERT_FALSE(trace.samples.empty());
+  EXPECT_EQ(trace.samples.front().iteration, 0u);
+  EXPECT_GE(trace.samples.back().iteration, kIterations - 2 * trace.stride);
+  for (std::size_t i = 1; i < trace.samples.size(); ++i) {
+    EXPECT_GT(trace.samples[i].iteration, trace.samples[i - 1].iteration);
+  }
+}
+
+TEST(ConvergenceTraceTest, SolverRecordsShrinkingGap) {
+  la::Matrix m(2, 2);
+  m(0, 0) = 1;
+  m(0, 1) = -1;
+  m(1, 0) = -1;
+  m(1, 1) = 1;
+  const game::MatrixGame pennies((la::Matrix(m)));
+
+  game::ConvergenceTrace trace;
+  game::IterativeConfig config;
+  config.iterations = 4000;
+  config.trace = &trace;
+  const game::Equilibrium eq = game::solve_fictitious_play(pennies, config);
+  EXPECT_EQ(eq.iterations, 4000u);
+  ASSERT_GE(trace.samples.size(), 8u);
+  // FP on matching pennies converges; the recorded duality gap must
+  // shrink from the early iterates to the late ones.
+  const double early = std::abs(trace.samples[1].gap);
+  const double late = std::abs(trace.samples.back().gap);
+  EXPECT_LT(late, early);
+  EXPECT_LT(late, 0.1);
+}
+
+TEST(ConvergenceTraceTest, NullTraceIsIdenticalSolve) {
+  la::Matrix m(2, 2);
+  m(0, 0) = 1;
+  m(0, 1) = -1;
+  m(1, 0) = -1;
+  m(1, 1) = 1;
+  const game::MatrixGame pennies((la::Matrix(m)));
+  game::IterativeConfig with_trace;
+  with_trace.iterations = 1000;
+  game::ConvergenceTrace trace;
+  with_trace.trace = &trace;
+  game::IterativeConfig without;
+  without.iterations = 1000;
+  const game::Equilibrium a = game::solve_fictitious_play(pennies, with_trace);
+  const game::Equilibrium b = game::solve_fictitious_play(pennies, without);
+  ASSERT_EQ(a.row_strategy.size(), b.row_strategy.size());
+  for (std::size_t i = 0; i < a.row_strategy.size(); ++i) {
+    EXPECT_EQ(a.row_strategy[i], b.row_strategy[i]);
+  }
+  EXPECT_EQ(a.value, b.value);
+}
+
+// ------------------------------------------------------- differ behavior
+
+const char* kPlainRun = R"({
+  "schema_version": 1, "scenario": "t", "kind": "k",
+  "metrics": {"accuracy": 0.5},
+  "tables": [{"name": "curve", "columns": ["x", "y"], "rows": [[1, 2]]}]
+})";
+
+const char* kTelemetryRun = R"({
+  "schema_version": 1, "scenario": "t", "kind": "k",
+  "metrics": {"accuracy": 0.5, "obs.pool.tasks_stolen": 17},
+  "tables": [
+    {"name": "curve", "columns": ["x", "y"], "rows": [[1, 2]]},
+    {"name": "telemetry_counters", "columns": ["metric", "value"],
+     "rows": [["obs.cache.hits", 40]]},
+    {"name": "telemetry_timers",
+     "columns": ["metric", "count", "total_ms", "mean_ms", "min_ms", "max_ms"],
+     "rows": [["obs.engine.point_wall", 3, 9.0, 3.0, 2.0, 4.0]]}
+  ]
+})";
+
+TEST(DiffTelemetryTest, TelemetryExcludedByDefault) {
+  const JsonValue plain = parse_json(kPlainRun);
+  const JsonValue telemetry = parse_json(kTelemetryRun);
+  // An instrumented candidate against a plain baseline is clean: the
+  // telemetry tables and obs.* metrics must not surface as EXTRA.
+  const scenario::ResultDiff diff = diff_results(plain, telemetry, {});
+  EXPECT_TRUE(diff.clean());
+  // And symmetrically (instrumented baseline, plain candidate).
+  EXPECT_TRUE(diff_results(telemetry, plain, {}).clean());
+}
+
+TEST(DiffTelemetryTest, WithTelemetryComparesEverything) {
+  const JsonValue plain = parse_json(kPlainRun);
+  const JsonValue telemetry = parse_json(kTelemetryRun);
+  DiffOptions options;
+  options.ignore_telemetry = false;
+  const scenario::ResultDiff diff = diff_results(plain, telemetry, options);
+  EXPECT_FALSE(diff.clean());
+  // 1 extra metric + 2 extra tables.
+  EXPECT_EQ(diff.count(scenario::DiffKind::kExtra), 3u);
+}
+
+TEST(DiffTelemetryTest, SweepMetricsRowsWithObsNamesAreSkipped) {
+  const char* base = R"({
+    "scenario": "t", "kind": "k", "sweep_axes": ["eps"],
+    "metrics": {},
+    "tables": [{"name": "sweep_metrics",
+                "columns": ["eps", "metric", "value"],
+                "rows": [[0.1, "accuracy", 0.9], [0.1, "obs.cache.hits", 5]]}]
+  })";
+  const char* cand = R"({
+    "scenario": "t", "kind": "k", "sweep_axes": ["eps"],
+    "metrics": {},
+    "tables": [{"name": "sweep_metrics",
+                "columns": ["eps", "metric", "value"],
+                "rows": [[0.1, "accuracy", 0.9], [0.1, "obs.cache.hits", 99]]}]
+  })";
+  EXPECT_TRUE(diff_results(parse_json(base), parse_json(cand), {}).clean());
+  DiffOptions strict;
+  strict.ignore_telemetry = false;
+  EXPECT_FALSE(diff_results(parse_json(base), parse_json(cand), strict)
+                   .clean());
+}
+
+// ------------------------------------------- engine + CLI integration
+
+scenario::ScenarioSpec tiny_spec() {
+  scenario::ScenarioSpec spec;
+  spec.name = "tiny_obs";
+  spec.kind = "pure_sweep";
+  spec.seed = 7;
+  spec.instances = 300;
+  spec.epochs = 20;
+  spec.real_corpus = false;
+  spec.sweep_steps = 3;
+  spec.replications = 1;
+  spec.draws = 1;
+  spec.support_min = 2;
+  spec.support_max = 2;
+  spec.threads = 1;
+  return spec;
+}
+
+std::string result_json(const scenario::ScenarioResult& result) {
+  std::ostringstream out;
+  scenario::write_json(result, out);
+  return out.str();
+}
+
+TEST(ObsEngineTest, InstrumentationDoesNotChangeResults) {
+  const scenario::ScenarioResult plain = scenario::run_scenario(tiny_spec());
+
+  scenario::ScenarioSpec instrumented = tiny_spec();
+  instrumented.metrics = true;
+  instrumented.telemetry = true;
+  const std::string trace_path = "obs_test_trace.tmp.json";
+  instrumented.trace = trace_path;
+  const scenario::ScenarioResult traced =
+      scenario::run_scenario(instrumented);
+
+  // Tolerance 0: metrics + tracing on must be bit-identical to off on
+  // everything the differ gates (telemetry tables are excluded by name).
+  const scenario::ResultDiff diff = diff_results(
+      parse_json(result_json(plain)), parse_json(result_json(traced)), {});
+  EXPECT_TRUE(diff.clean()) << result_json(traced);
+
+#ifndef PG_OBS_DISABLED
+  // metrics=true appended the registry dump tables.
+  bool saw_counters = false;
+  for (const auto& table : traced.tables) {
+    if (table.name == "telemetry_counters") saw_counters = true;
+  }
+  EXPECT_TRUE(saw_counters);
+
+  // The trace file is valid JSON with the scenario-level span.
+  std::ifstream in(trace_path);
+  ASSERT_TRUE(static_cast<bool>(in));
+  std::ostringstream text;
+  text << in.rdbuf();
+  const JsonValue doc = parse_json(text.str());
+  bool saw_scenario_span = false;
+  for (const JsonValue* e : complete_events(doc)) {
+    if (e->find("name")->text == "scenario:tiny_obs") saw_scenario_span = true;
+  }
+  EXPECT_TRUE(saw_scenario_span);
+#endif
+  std::remove(trace_path.c_str());
+}
+
+TEST(ObsCliTest, ParsesTraceAndMetricsFlags) {
+  const scenario::CliOptions options = scenario::parse_cli(
+      {"--scenario", "prop1", "--trace", "t.json", "--metrics-out", "m.json"});
+  EXPECT_EQ(options.metrics_out, "m.json");
+  bool saw_trace = false;
+  bool saw_metrics = false;
+  for (const auto& [key, value] : options.overrides) {
+    if (key == "trace" && value == "t.json") saw_trace = true;
+    if (key == "metrics" && value == "true") saw_metrics = true;
+  }
+  EXPECT_TRUE(saw_trace);
+  EXPECT_TRUE(saw_metrics);
+  EXPECT_TRUE(
+      scenario::parse_cli({"--compare", "a.json", "b.json",
+                           "--with-telemetry"})
+          .with_telemetry);
+}
+
+TEST(ObsCliTest, UnwritableOutputPathsFailBeforeTheRun) {
+  const auto expect_fast_failure = [](const scenario::CliOptions& options,
+                                      const char* needle) {
+    std::ostringstream out;
+    std::ostringstream err;
+    EXPECT_EQ(scenario::run_cli(options, out, err), 1);
+    EXPECT_NE(err.str().find("cannot write"), std::string::npos) << err.str();
+    EXPECT_NE(err.str().find(needle), std::string::npos) << err.str();
+    // One-line error, no partial result dumped to stdout.
+    EXPECT_EQ(out.str(), "");
+  };
+  {
+    scenario::CliOptions options;
+    options.scenario = "prop1";
+    options.out_file = "/nonexistent_pg_dir/out.json";
+    expect_fast_failure(options, "output file");
+  }
+  {
+    scenario::CliOptions options;
+    options.scenario = "prop1";
+    options.overrides.emplace_back("trace", "/nonexistent_pg_dir/t.json");
+    expect_fast_failure(options, "trace file");
+  }
+  {
+    scenario::CliOptions options;
+    options.scenario = "prop1";
+    options.metrics_out = "/nonexistent_pg_dir/m.json";
+    expect_fast_failure(options, "metrics file");
+  }
+}
+
+}  // namespace
+}  // namespace pg
