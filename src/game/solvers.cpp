@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 #include <memory>
+#include <optional>
 
 #include "game/lp.h"
 #include "obs/trace.h"
@@ -53,8 +54,9 @@ std::size_t scan_chunks(std::size_t dim, runtime::Executor* executor) {
 // overhead" case called out in ROADMAP.md. When the solve is big enough
 // to amortize thread spawn and NOT already running inside a pool task
 // (where extra resident threads would oversubscribe), the solvers below
-// stand up a runtime::PersistentTeam once and drive every iteration over
-// its spin barrier instead. Chunking can be much finer than the dispatch
+// lease a resident team (runtime::TeamLease -- a parked PersistentTeam
+// is reused across solves instead of spawned per solve) and drive every
+// iteration over its spin barrier instead. Chunking can be much finer than the dispatch
 // path's -- a barrier crossing is ~two atomics -- and determinism is
 // untouched: chunk partials still fold in ascending order with exact
 // comparisons, so serial, dispatched, and team solves are bit-identical.
@@ -189,15 +191,14 @@ Equilibrium solve_fictitious_play(const MatrixGame& game,
   // solve on every backend at any thread count.
   const bool use_team =
       team_pays(m, n, config.iterations, m + n, executor, config.backend);
-  std::unique_ptr<runtime::PersistentTeam> team;
+  std::optional<runtime::TeamLease> team;
   std::size_t row_chunks;
   std::size_t col_chunks;
   if (use_team) {
     const std::size_t workers = executor->concurrency();
     row_chunks = team_chunks(m, workers);
     col_chunks = team_chunks(n, workers);
-    team = std::make_unique<runtime::PersistentTeam>(
-        std::min(workers, row_chunks + col_chunks));
+    team.emplace(std::min(workers, row_chunks + col_chunks));
   } else {
     row_chunks = scan_chunks(m, executor);
     col_chunks = scan_chunks(n, executor);
@@ -343,12 +344,11 @@ Equilibrium solve_multiplicative_weights(const MatrixGame& game,
   // matrix row-major (the blocked matvec_transposed access pattern).
   const bool use_team =
       team_pays(m, n, config.iterations, m * n, executor, config.backend);
-  std::unique_ptr<runtime::PersistentTeam> team;
+  std::optional<runtime::TeamLease> team;
   if (use_team) {
-    team = std::make_unique<runtime::PersistentTeam>(
-        std::min(executor->concurrency(),
-                 team_chunks(m, executor->concurrency()) +
-                     team_chunks(n, executor->concurrency())));
+    team.emplace(std::min(executor->concurrency(),
+                          team_chunks(m, executor->concurrency()) +
+                              team_chunks(n, executor->concurrency())));
   }
 
   std::vector<double> p;

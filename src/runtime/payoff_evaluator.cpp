@@ -57,6 +57,53 @@ void PayoffCache::store(std::uint64_t key, double value) {
   map_.emplace(key, value);
 }
 
+PayoffCache::Claim PayoffCache::claim(std::uint64_t key, double& value) {
+  static obs::Counter& obs_hits = obs::counter("obs.cache.hits");
+  static obs::Counter& obs_misses = obs::counter("obs.cache.misses");
+  static obs::Counter& obs_coalesced = obs::counter("obs.cache.coalesced");
+  std::unique_lock<std::mutex> lock(mutex_);
+  bool waited = false;
+  for (;;) {
+    const auto it = map_.find(key);
+    if (it != map_.end()) {
+      ++stats_.hits;
+      obs_hits.add(1);
+      if (waited) obs_coalesced.add(1);
+      value = it->second;
+      return waited ? Claim::kWaited : Claim::kHit;
+    }
+    if (inflight_.insert(key).second) {
+      ++stats_.misses;
+      obs_misses.add(1);
+      return Claim::kOwner;
+    }
+    // Someone else owns this key: sleep until it publishes or abandons.
+    waited = true;
+    flight_cv_.wait(lock);
+  }
+}
+
+void PayoffCache::publish(std::uint64_t key, double value) {
+  static obs::Counter& obs_stores = obs::counter("obs.cache.stores");
+  obs_stores.add(1);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    map_.emplace(key, value);
+    inflight_.erase(key);
+  }
+  flight_cv_.notify_all();
+}
+
+void PayoffCache::abandon(std::uint64_t key) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    inflight_.erase(key);
+  }
+  // A waiter on this key re-runs the claim loop, finds no value and no
+  // owner, and is promoted to owner itself.
+  flight_cv_.notify_all();
+}
+
 std::size_t PayoffCache::size() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return map_.size();
@@ -103,17 +150,26 @@ std::vector<double> PayoffEvaluator::evaluate_cells(std::size_t count,
   // still fan out to idle workers instead of serializing on one.
   executor_.parallel_for_nested(0, count, grain_, [&](std::size_t i) {
     if (cache_ != nullptr && key) {
+      // Single-flight: when two concurrent evaluations (grid points, or
+      // server requests on a shared store) hit the same cold cell, one
+      // computes and the rest wait for its value instead of retraining.
       const std::uint64_t k = key(i);
       double cached = 0.0;
-      if (cache_->lookup(k, cached)) {
+      const PayoffCache::Claim claim = cache_->claim(k, cached);
+      if (claim != PayoffCache::Claim::kOwner) {
         values[i] = cached;
         hits_.fetch_add(1, std::memory_order_relaxed);
         return;
       }
-      values[i] = cell(i);
+      try {
+        values[i] = cell(i);
+      } catch (...) {
+        cache_->abandon(k);
+        throw;
+      }
       computed_.fetch_add(1, std::memory_order_relaxed);
       obs_retrains.add(1);
-      cache_->store(k, values[i]);
+      cache_->publish(k, values[i]);
       return;
     }
     values[i] = cell(i);

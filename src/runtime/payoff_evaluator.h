@@ -19,11 +19,13 @@
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <mutex>
 #include <unordered_map>
+#include <unordered_set>
 #include <utility>
 #include <vector>
 
@@ -66,6 +68,28 @@ class PayoffCache {
   [[nodiscard]] std::size_t size() const;
   void clear();
 
+  /// SINGLE-FLIGHT claim on one cell key, for coalescing concurrent
+  /// computations of the same cold cell (two server requests, or two grid
+  /// points, hitting one cell at once). Exactly one caller per key
+  /// becomes kOwner and MUST follow up with publish() (or abandon() on
+  /// failure); everyone else either gets the value immediately (kHit) or
+  /// blocks until the owner publishes and then gets it (kWaited --
+  /// morally a hit: the cell was not recomputed). Counted as a hit/miss
+  /// in stats(): kOwner is the one miss, kHit and kWaited are hits.
+  ///
+  /// DEADLOCK CONTRACT: a kOwner's cell computation must never claim()
+  /// another key on the same cache from the same thread chain it blocks
+  /// on -- cell bodies in this codebase are leaf computations (pipeline
+  /// runs, closed-form curves), so claims only ever nest through
+  /// INDEPENDENT keys computed by independent tasks.
+  enum class Claim { kHit, kOwner, kWaited };
+  [[nodiscard]] Claim claim(std::uint64_t key, double& value);
+  /// Publish a kOwner's computed value and wake the waiters.
+  void publish(std::uint64_t key, double value);
+  /// Release a kOwner's claim WITHOUT a value (the computation threw);
+  /// one waiter is promoted to owner and recomputes.
+  void abandon(std::uint64_t key);
+
   /// Lookup traffic since construction / the last clear().
   [[nodiscard]] PayoffCacheStats stats() const;
 
@@ -80,6 +104,9 @@ class PayoffCache {
  private:
   mutable std::mutex mutex_;
   std::unordered_map<std::uint64_t, double> map_;
+  // Keys claimed by an in-flight owner; waiters sleep on flight_cv_.
+  std::unordered_set<std::uint64_t> inflight_;
+  std::condition_variable flight_cv_;
   mutable PayoffCacheStats stats_;
 };
 

@@ -133,4 +133,69 @@ void PersistentTeam::run(const std::function<void(std::size_t)>& job) {
   if (error) std::rethrow_exception(error);
 }
 
+namespace {
+
+/// Upper bound on parked idle teams. Two covers the common shapes (the
+/// FP and MW solvers ask for slightly different rank counts); an
+/// overflow team is simply destroyed -- parked workers sleep on a futex,
+/// but their stacks are real memory.
+constexpr std::size_t kMaxParkedTeams = 2;
+
+/// Process-wide park of idle teams, keyed by exact rank count. A
+/// function-local static: construction is thread-safe, and destruction
+/// at process exit joins the parked workers -- safe because their
+/// shutdown path touches only the team's own members and the obs
+/// singletons, which are intentionally leaked (never destroyed).
+struct TeamPark {
+  std::mutex mutex;
+  std::vector<std::unique_ptr<PersistentTeam>> parked;
+};
+
+TeamPark& team_park() {
+  static TeamPark park;
+  return park;
+}
+
+}  // namespace
+
+TeamLease::TeamLease(std::size_t ranks) {
+  static obs::Counter& reused = obs::counter("obs.team.reused");
+  static obs::Counter& created = obs::counter("obs.team.created");
+  {
+    TeamPark& park = team_park();
+    std::lock_guard<std::mutex> lock(park.mutex);
+    for (auto it = park.parked.begin(); it != park.parked.end(); ++it) {
+      if ((*it)->size() == ranks) {
+        team_ = std::move(*it);
+        park.parked.erase(it);
+        break;
+      }
+    }
+  }
+  if (team_ != nullptr) {
+    reused.add(1);
+    return;
+  }
+  created.add(1);
+  team_ = std::make_unique<PersistentTeam>(ranks);
+}
+
+TeamLease::~TeamLease() {
+  if (team_ == nullptr) return;
+  // Park under the lock, destroy (join) any overflow OUTSIDE it -- a
+  // join can block for a worker's last barrier crossing.
+  std::unique_ptr<PersistentTeam> dispose;
+  {
+    TeamPark& park = team_park();
+    std::lock_guard<std::mutex> lock(park.mutex);
+    if (park.parked.size() >= kMaxParkedTeams) {
+      // Evict the OLDEST parked team: the one just released is the most
+      // likely to be asked for again (back-to-back solves of one shape).
+      dispose = std::move(park.parked.front());
+      park.parked.erase(park.parked.begin());
+    }
+    park.parked.push_back(std::move(team_));
+  }
+}
+
 }  // namespace pg::runtime

@@ -33,6 +33,7 @@
 #include <cstdint>
 #include <exception>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -86,6 +87,40 @@ class PersistentTeam {
   // Completion fallback for the caller's barrier wait (same pattern).
   std::mutex done_mutex_;
   std::condition_variable done_cv_;
+};
+
+/// A borrowed PersistentTeam from the process-wide park: acquiring a
+/// lease reuses a previously-parked team of the SAME rank count when one
+/// is available (obs.team.reused) and spawns a fresh one otherwise
+/// (obs.team.created); the destructor parks the team for the next solve
+/// instead of joining its threads. This hoists team reuse above the
+/// individual solve -- under kAuto a scenario that issues thousands of
+/// team-priced solves (the solver ablation grid) used to pay a full
+/// thread spawn + join per solve.
+///
+/// Determinism is untouched: run(job) is exactly PersistentTeam::run on a
+/// team of the leased size, and a team carries no state between jobs
+/// beyond its parked threads. Same single-owner, non-nested contract as
+/// PersistentTeam; a lease may be acquired on one thread and released on
+/// another only when a happens-before edge orders the two (the solvers
+/// hold the caller's synchronization).
+class TeamLease {
+ public:
+  /// Acquire a team of exactly `ranks` ranks (>= 1).
+  explicit TeamLease(std::size_t ranks);
+  /// Parks the team for reuse (bounded park; overflow teams join here).
+  ~TeamLease();
+
+  TeamLease(const TeamLease&) = delete;
+  TeamLease& operator=(const TeamLease&) = delete;
+  TeamLease(TeamLease&&) = delete;
+  TeamLease& operator=(TeamLease&&) = delete;
+
+  [[nodiscard]] std::size_t size() const noexcept { return team_->size(); }
+  void run(const std::function<void(std::size_t)>& job) { team_->run(job); }
+
+ private:
+  std::unique_ptr<PersistentTeam> team_;
 };
 
 }  // namespace pg::runtime

@@ -8,6 +8,7 @@
 #include "scenario/diff.h"
 #include "scenario/engine.h"
 #include "scenario/registry.h"
+#include "scenario/request.h"
 #include "scenario/result.h"
 #include "util/error.h"
 #include "util/table.h"
@@ -219,19 +220,16 @@ int run_cli(const CliOptions& options, std::ostream& out, std::ostream& err) {
              "nothing to run: pass --list, --scenario, --spec, or "
              "--compare\n" +
                  cli_usage());
-    ScenarioSpec spec;
-    if (!options.scenario.empty()) {
-      spec = ScenarioRegistry::instance().make(options.scenario);
-    } else {
-      spec = ScenarioSpec::parse(read_file(options.spec_file));
+    // Resolution (name/spec-text + overrides -> runnable spec) lives in
+    // RequestOptions so pg_serve requests follow the exact same
+    // precedence rules as this CLI.
+    RequestOptions request;
+    request.scenario = options.scenario;
+    if (!options.spec_file.empty()) {
+      request.spec_text = read_file(options.spec_file);
     }
-    for (const auto& [key, value] : options.overrides) {
-      if (key == "sweep+") {
-        spec.add_sweep(value);  // --sweep appends an axis
-      } else {
-        spec.set(key, value);
-      }
-    }
+    request.overrides = options.overrides;
+    ScenarioSpec spec = request.resolve();
 
     if (options.print_spec) {
       out << spec.to_text();

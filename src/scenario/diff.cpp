@@ -241,7 +241,14 @@ class Differ {
       : options_(options), diff_(diff) {}
 
   /// Top-level artifact: a single run (has "scenario") or name -> run.
-  void compare_artifact(const JsonValue& a, const JsonValue& b) {
+  /// Either side may be a pg_serve response ENVELOPE
+  /// ({status, request_id, result: <run>}): an ok envelope is unwrapped
+  /// to its result, so a served artifact diffs directly against a
+  /// pg_run baseline; an error envelope has no result to compare and is
+  /// rejected with its own message.
+  void compare_artifact(const JsonValue& a_raw, const JsonValue& b_raw) {
+    const JsonValue& a = unwrap_envelope(a_raw, "baseline");
+    const JsonValue& b = unwrap_envelope(b_raw, "candidate");
     PG_CHECK(a.kind == JsonValue::Kind::kObject &&
                  b.kind == JsonValue::Kind::kObject,
              "--compare inputs must be JSON objects written by the JSON "
@@ -273,6 +280,23 @@ class Differ {
   }
 
  private:
+  static const JsonValue& unwrap_envelope(const JsonValue& v,
+                                          const char* side) {
+    if (v.kind != JsonValue::Kind::kObject) return v;
+    const JsonValue* status = v.find("status");
+    if (status == nullptr || v.find("request_id") == nullptr) return v;
+    PG_CHECK(status->kind == JsonValue::Kind::kString && status->text == "ok",
+             std::string("--compare ") + side +
+                 " is an ERROR response envelope (status=" +
+                 (status->kind == JsonValue::Kind::kString ? status->text
+                                                           : "<non-string>") +
+                 "); nothing to compare");
+    const JsonValue* result = v.find("result");
+    PG_CHECK(result != nullptr, std::string("--compare ") + side +
+                                    " envelope has no \"result\" member");
+    return *result;
+  }
+
   void add(DiffKind kind, std::string location, std::string baseline,
            std::string candidate) {
     diff_.entries.push_back(

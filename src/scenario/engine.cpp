@@ -6,8 +6,6 @@
 #include <cmath>
 #include <cstdlib>
 #include <ctime>
-#include <deque>
-#include <mutex>
 #include <fstream>
 #include <iostream>
 #include <map>
@@ -39,6 +37,7 @@
 #include "runtime/payoff_disk_cache.h"
 #include "runtime/payoff_evaluator.h"
 #include "runtime/rng_stream.h"
+#include "scenario/cache_bundle.h"
 #include "scenario/registry.h"
 #include "scenario/sweep.h"
 #include "sim/curve_fit.h"
@@ -66,95 +65,6 @@ sim::ExperimentConfig experiment_config(const ScenarioSpec& spec) {
   cfg.try_real_corpus = spec.real_corpus;
   return cfg;
 }
-
-/// The engine's cache layers: per-context PayoffCache shards, optionally
-/// preloaded from / spilled to a DiskPayoffCache, plus the aggregated
-/// traffic counters the result reports.
-///
-/// THREAD-SAFE: one bundle is shared by every point of a point-parallel
-/// sweep grid, so shard lookup and counter folding serialize on a mutex
-/// (the PayoffCache instances handed out are themselves thread-safe, and
-/// deque growth never invalidates shard pointers). The traffic COUNTERS
-/// may legitimately differ run-to-run under concurrency -- two points
-/// racing to the same cold cell both retrain it -- which is exactly why
-/// the cache block is excluded from `pg_run --compare`; the cached
-/// VALUES cannot differ (each is a pure function of its content key).
-class CacheBundle {
- public:
-  CacheBundle(bool memo, std::string dir, std::uint64_t max_bytes)
-      : memo_(memo),
-        disk_(memo ? std::move(dir) : std::string(), max_bytes) {}
-
-  /// The shard for one experiment context (created and disk-preloaded on
-  /// first use). Returns nullptr when memoization is off -- callers pass
-  /// the pointer straight through to the sim/ entry points.
-  runtime::PayoffCache* shard(std::uint64_t fingerprint) {
-    if (!memo_) return nullptr;
-    std::lock_guard<std::mutex> lock(mutex_);
-    for (auto& [fp, cache] : shards_) {
-      if (fp == fingerprint) return &cache;
-    }
-    shards_.emplace_back();
-    shards_.back().first = fingerprint;
-    loaded_ += disk_.load(fingerprint, shards_.back().second);
-    return &shards_.back().second;
-  }
-
-  [[nodiscard]] bool memo() const noexcept { return memo_; }
-
-  /// Fold one runner's sweep-cell counters into the totals. Runners keep
-  /// a local sim::PureSweepStats and deposit it here once, so concurrent
-  /// points never share a live counter struct.
-  void add_sweep_stats(const sim::PureSweepStats& stats) {
-    std::lock_guard<std::mutex> lock(mutex_);
-    sweep_stats_.cells_total += stats.cells_total;
-    sweep_stats_.cells_retrained += stats.cells_retrained;
-    sweep_stats_.cache_hits += stats.cache_hits;
-  }
-
-  /// Fold one engine-built evaluator's counters into the totals.
-  void absorb(const runtime::PayoffEvaluator& evaluator) {
-    std::lock_guard<std::mutex> lock(mutex_);
-    eval_retrained_ += evaluator.cells_computed();
-    eval_hits_ += evaluator.cache_hits();
-  }
-  /// Manually-cached cells (the defense-ablation runner).
-  void add_cells(std::size_t retrained, std::size_t hits) {
-    std::lock_guard<std::mutex> lock(mutex_);
-    eval_retrained_ += retrained;
-    eval_hits_ += hits;
-  }
-
-  /// Spill every shard and fill the report. Single-threaded: called once
-  /// after every point has joined.
-  void finish(CacheReport& report) {
-    report.enabled = memo_;
-    report.disk_enabled = disk_.enabled();
-    report.disk_dir = disk_.dir();
-    report.shards = shards_.size();
-    report.cells_total = sweep_stats_.cells_total + eval_retrained_ + eval_hits_;
-    report.cells_retrained = sweep_stats_.cells_retrained + eval_retrained_;
-    report.cache_hits = sweep_stats_.cache_hits + eval_hits_;
-    report.disk_entries_loaded = loaded_;
-    for (auto& [fp, cache] : shards_) {
-      report.disk_entries_saved += disk_.save(fp, cache);
-    }
-    report.disk_max_bytes = disk_.max_bytes();
-    // One eviction pass after all spills: the shards just written are
-    // the newest, so a cap evicts stale contexts first.
-    report.disk_shards_evicted = disk_.enforce_max_bytes();
-  }
-
- private:
-  bool memo_;
-  runtime::DiskPayoffCache disk_;
-  std::mutex mutex_;
-  std::deque<std::pair<std::uint64_t, runtime::PayoffCache>> shards_;
-  std::size_t loaded_ = 0;
-  sim::PureSweepStats sweep_stats_;
-  std::size_t eval_retrained_ = 0;
-  std::size_t eval_hits_ = 0;
-};
 
 void add_context_metrics(const sim::ExperimentContext& ctx,
                          ScenarioResult& result) {
@@ -663,20 +573,39 @@ void run_defense_ablation_scenario(const ScenarioSpec& spec,
       return k.mix(arm).digest();
     };
     std::array<double, 3> out{};
-    if (cache != nullptr && cache->lookup(subkey(0), out[0]) &&
-        cache->lookup(subkey(1), out[1]) && cache->lookup(subkey(2), out[2])) {
-      hits.fetch_add(1, std::memory_order_relaxed);
-      return out;
+    // Single-flight on sub-key 0, published LAST (so a hit on 0 implies
+    // 1 and 2 are present) -- concurrent requests sharing this shard
+    // coalesce onto one pipeline run per cell.
+    bool owner = false;
+    if (cache != nullptr) {
+      const runtime::PayoffCache::Claim claim = cache->claim(subkey(0), out[0]);
+      if (claim != runtime::PayoffCache::Claim::kOwner) {
+        if (cache->lookup(subkey(1), out[1]) &&
+            cache->lookup(subkey(2), out[2])) {
+          hits.fetch_add(1, std::memory_order_relaxed);
+          return out;
+        }
+      } else {
+        owner = true;
+      }
     }
-    util::Rng r = rng.fork(salt);
-    const auto res = pipeline.run(ctx.train, ctx.test, atk, ctx.poison_budget,
-                                  filter, r);
-    out = {res.test_accuracy, res.detection.precision, res.detection.recall};
+    std::array<double, 3> computed{};
+    try {
+      util::Rng r = rng.fork(salt);
+      const auto res = pipeline.run(ctx.train, ctx.test, atk,
+                                    ctx.poison_budget, filter, r);
+      computed = {res.test_accuracy, res.detection.precision,
+                  res.detection.recall};
+    } catch (...) {
+      if (owner) cache->abandon(subkey(0));
+      throw;
+    }
+    out = computed;
     retrained.fetch_add(1, std::memory_order_relaxed);
     if (cache != nullptr) {
-      cache->store(subkey(0), out[0]);
       cache->store(subkey(1), out[1]);
       cache->store(subkey(2), out[2]);
+      if (owner) cache->publish(subkey(0), out[0]);
     }
     return out;
   };
@@ -1110,9 +1039,15 @@ RunnerFn runner_for(const std::string& kind) {
   return nullptr;  // unreachable
 }
 
-}  // namespace
-
-ScenarioResult run_scenario(const ScenarioSpec& spec) {
+/// The shared body of both run_scenario overloads: validate, dispatch
+/// (single run or point-parallel grid), merge, and fill the cache report.
+/// The CALLER owns the executor, the shard store, and the observability
+/// lifecycle; `spill` says whether this run flushes the store to disk
+/// (standalone runs do, shared-context runs leave that to the owner's
+/// drain).
+ScenarioResult run_scenario_impl(const ScenarioSpec& spec,
+                                 runtime::Executor* exec, ShardStore& store,
+                                 bool spill) {
   const SweepPlan plan(spec);  // parses + type-checks every sweep clause
 
   // Validate every kind the run will dispatch BEFORE any work: the base
@@ -1126,21 +1061,10 @@ ScenarioResult run_scenario(const ScenarioSpec& spec) {
   if (!kind_swept) (void)runner_for(spec.kind);
 
   util::Stopwatch watch;
-  // Observability lifecycle: reset the registry when this run will report
-  // metrics (so the snapshot describes THIS run, not the process), and
-  // arm the tracer when a trace path is set. Both are pure observers --
-  // the run below computes exactly the same result with them on or off.
-  if (spec.metrics) obs::reset_metrics();
-  if (!spec.trace.empty()) obs::Tracer::instance().start();
-
-  const auto exec = sim::make_executor(spec.threads);
-  const std::string cache_dir = !spec.cache_dir.empty()
-                                    ? spec.cache_dir
-                                    : runtime::DiskPayoffCache::env_dir();
   // ONE cache bundle for the whole grid: points sharing an experiment
-  // context (e.g. a solver-knob axis) reuse each other's retrains, and
-  // the disk spill/eviction pass runs once at the end.
-  CacheBundle bundle(spec.use_cache, cache_dir, spec.cache_max_bytes);
+  // context (e.g. a solver-knob axis) reuse each other's retrains. The
+  // bundle is this run's counter window onto the (possibly shared) store.
+  CacheBundle bundle(store);
 
   ScenarioResult result;
   result.spec = spec;
@@ -1151,7 +1075,7 @@ ScenarioResult run_scenario(const ScenarioSpec& spec) {
     if (plan.empty()) {
       PG_CHECK(spec.aggregate.empty(),
                "aggregate requires sweep axes to aggregate over");
-      runner_for(spec.kind)(spec, exec.get(), bundle, result);
+      runner_for(spec.kind)(spec, exec, bundle, result);
     } else {
       result.sweep_axes = plan.axis_keys();
       result.add_metric("sweep_points", plan.size());
@@ -1166,7 +1090,7 @@ ScenarioResult run_scenario(const ScenarioSpec& spec) {
       // plan order regardless of completion order.
       std::vector<ScenarioResult> points(plan.size());
       runtime::parallel_for_nested(
-          exec.get(), 0, plan.size(), 1, [&](std::size_t i) {
+          exec, 0, plan.size(), 1, [&](std::size_t i) {
             obs::Span point_span("grid_point_" + std::to_string(i), "grid");
             static obs::Timer& wall = obs::timer("obs.engine.point_wall");
             static obs::Timer& cpu = obs::timer("obs.engine.point_cpu");
@@ -1182,7 +1106,7 @@ ScenarioResult run_scenario(const ScenarioSpec& spec) {
               runner_for(child.kind)(child, child_exec.get(), bundle,
                                      points[i]);
             } else {
-              runner_for(child.kind)(child, exec.get(), bundle, points[i]);
+              runner_for(child.kind)(child, exec, bundle, points[i]);
             }
             cpu.record_ns(thread_cpu_ns() - cpu_start);
           });
@@ -1191,15 +1115,39 @@ ScenarioResult run_scenario(const ScenarioSpec& spec) {
       }
       add_sweep_aggregates(spec, result);
     }
-    bundle.finish(result.cache);
+    bundle.finish(result.cache, spill);
   }
 
   // Fold the run's metrics into the result (diff-excluded `telemetry_*`
-  // tables) and flush the trace AFTER the scenario span closed, so the
-  // file includes it. A failing trace write throws past the result --
-  // the CLI pre-checks writability, so this only fires when the path
-  // went bad mid-run.
+  // tables) after the scenario span closed, so a trace flushed by the
+  // caller includes it.
   if (spec.metrics) append_metrics_tables(result);
+  result.elapsed_seconds = watch.elapsed_seconds();
+  return result;
+}
+
+}  // namespace
+
+ScenarioResult run_scenario(const ScenarioSpec& spec) {
+  // Observability lifecycle: reset the registry when this run will report
+  // metrics (so the snapshot describes THIS run, not the process), and
+  // arm the tracer when a trace path is set. Both are pure observers --
+  // the run below computes exactly the same result with them on or off.
+  if (spec.metrics) obs::reset_metrics();
+  if (!spec.trace.empty()) obs::Tracer::instance().start();
+
+  const auto exec = sim::make_executor(spec.threads);
+  const std::string cache_dir = !spec.cache_dir.empty()
+                                    ? spec.cache_dir
+                                    : runtime::DiskPayoffCache::env_dir();
+  ShardStore store(spec.use_cache, cache_dir, spec.cache_max_bytes);
+
+  ScenarioResult result =
+      run_scenario_impl(spec, exec.get(), store, /*spill=*/true);
+
+  // Flush the trace AFTER the run so the file includes every span. A
+  // failing trace write throws past the result -- the CLI pre-checks
+  // writability, so this only fires when the path went bad mid-run.
   if (!spec.trace.empty()) {
     std::ofstream trace_out(spec.trace, std::ios::trunc);
     PG_CHECK(static_cast<bool>(trace_out),
@@ -1208,8 +1156,19 @@ ScenarioResult run_scenario(const ScenarioSpec& spec) {
     PG_CHECK(static_cast<bool>(trace_out),
              "short write to trace file: " + spec.trace);
   }
-  result.elapsed_seconds = watch.elapsed_seconds();
   return result;
+}
+
+ScenarioResult run_scenario(const ScenarioSpec& spec, EngineContext& context) {
+  PG_CHECK(context.executor != nullptr && context.shards != nullptr,
+           "run_scenario: EngineContext needs an executor and a shard store");
+  // Per-request trace files would race on the process-wide tracer; the
+  // owner decides whether tracing is on for the whole process instead.
+  PG_CHECK(spec.trace.empty(),
+           "run_scenario: per-request trace files are not supported on a "
+           "shared context (the owner controls the tracer)");
+  return run_scenario_impl(spec, context.executor, *context.shards,
+                           /*spill=*/false);
 }
 
 int run_legacy_bench(const std::string& name, const std::string& json_out) {

@@ -27,12 +27,41 @@
 #include "scenario/result.h"
 #include "scenario/spec.h"
 
+namespace pg::runtime {
+class Executor;
+}  // namespace pg::runtime
+
 namespace pg::scenario {
+
+class ShardStore;
 
 /// Execute the spec. Throws std::invalid_argument on an unknown kind or
 /// out-of-range knobs (the validation the per-bench mains used to spread
 /// across eight copies of main()).
 [[nodiscard]] ScenarioResult run_scenario(const ScenarioSpec& spec);
+
+/// Shared execution substrate for RE-ENTRANT runs: a resident owner (the
+/// pg_serve daemon) builds the executor and shard store once and runs
+/// many specs against them. In this mode the engine does NOT manage the
+/// process-level observability lifecycle (no metrics reset, no tracer
+/// start, no trace-file write -- those belong to the owner, which also
+/// spills the shard store at drain), so concurrent run_scenario calls on
+/// one context are safe. `spec.trace` must be empty (PG_CHECKed);
+/// `spec.threads`/cache keys describe the run but the context's executor
+/// and store are what actually execute it -- the owner is expected to
+/// force-override those keys (scenario::RequestOptions documents the
+/// precedence).
+struct EngineContext {
+  runtime::Executor* executor = nullptr;
+  ShardStore* shards = nullptr;
+};
+
+/// Execute the spec on a shared context. Same validation and results as
+/// the standalone overload; bit-identical output for the same resolved
+/// spec (the cache/timing blocks are the usual non-deterministic
+/// exclusions).
+[[nodiscard]] ScenarioResult run_scenario(const ScenarioSpec& spec,
+                                          EngineContext& context);
 
 /// The thin-wrapper entry point the legacy bench_* binaries delegate to:
 /// build the registered spec (env-aware), run it, print the text sink to

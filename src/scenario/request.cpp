@@ -1,0 +1,26 @@
+#include "scenario/request.h"
+
+#include "scenario/registry.h"
+#include "util/error.h"
+
+namespace pg::scenario {
+
+ScenarioSpec RequestOptions::resolve() const {
+  PG_CHECK(scenario.empty() || spec_text.empty(),
+           "request: scenario name and spec text are mutually exclusive");
+  PG_CHECK(!scenario.empty() || !spec_text.empty(),
+           "request: needs a scenario name or spec text");
+  ScenarioSpec spec = !scenario.empty()
+                          ? ScenarioRegistry::instance().make(scenario)
+                          : ScenarioSpec::parse(spec_text);
+  for (const auto& [key, value] : overrides) {
+    if (key == "sweep+") {
+      spec.add_sweep(value);  // appends an axis; plain "sweep" replaces
+    } else {
+      spec.set(key, value);
+    }
+  }
+  return spec;
+}
+
+}  // namespace pg::scenario

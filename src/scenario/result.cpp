@@ -7,6 +7,7 @@
 #include <sstream>
 
 #include "obs/metrics.h"
+#include "serve/protocol.h"
 #include "util/error.h"
 #include "util/table.h"
 
@@ -89,8 +90,10 @@ void write_json(const ScenarioResult& result, std::ostream& out) {
   // means a member was renamed, retyped, or removed, so stored artifacts
   // from different versions must not be compared blindly. pg_run
   // --compare ignores members it does not align, so adding fields never
-  // breaks old baselines.
-  out << "  \"schema_version\": 1,\n";
+  // breaks old baselines. serve::kSchemaVersion is the ONE number shared
+  // by every JSON artifact the project emits (results, metrics
+  // snapshots, response envelopes).
+  out << "  \"schema_version\": " << serve::kSchemaVersion << ",\n";
   out << "  \"scenario\": \"" << json_escape(result.spec.name) << "\",\n";
   out << "  \"kind\": \"" << json_escape(result.spec.kind) << "\",\n";
   out << "  \"description\": \"" << json_escape(result.spec.description)
@@ -256,7 +259,7 @@ void append_metrics_tables(ScenarioResult& result) {
 
 void write_metrics_json(const std::string& scenario, std::ostream& out) {
   const auto snapshot = obs::snapshot_metrics();
-  out << "{\n  \"schema_version\": 1,\n";
+  out << "{\n  \"schema_version\": " << serve::kSchemaVersion << ",\n";
   out << "  \"scenario\": \"" << json_escape(scenario) << "\",\n";
   out << "  \"metrics\": [";
   for (std::size_t i = 0; i < snapshot.size(); ++i) {

@@ -1,0 +1,109 @@
+#include "serve/client.h"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <stdexcept>
+#include <thread>
+
+#include "util/error.h"
+
+namespace pg::serve {
+
+namespace {
+
+int connect_once(const std::string& path, std::string* error) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  PG_CHECK(!path.empty() && path.size() < sizeof(addr.sun_path),
+           "serve client: bad socket path '" + path + "'");
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  PG_CHECK(fd >= 0, "serve client: cannot create socket");
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    if (error != nullptr) *error = std::strerror(errno);
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+}  // namespace
+
+Client Client::connect(const std::string& socket_path) {
+  std::string error;
+  const int fd = connect_once(socket_path, &error);
+  if (fd < 0) {
+    throw std::runtime_error("serve client: cannot connect to " + socket_path +
+                             ": " + error);
+  }
+  return Client(fd);
+}
+
+Client Client::connect_retry(const std::string& socket_path,
+                             std::size_t timeout_ms) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  std::string error;
+  for (;;) {
+    const int fd = connect_once(socket_path, &error);
+    if (fd >= 0) return Client(fd);
+    if (std::chrono::steady_clock::now() >= deadline) {
+      throw std::runtime_error("serve client: no server on " + socket_path +
+                               " after " + std::to_string(timeout_ms) +
+                               " ms: " + error);
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+}
+
+Client::~Client() {
+  if (fd_ != -1) ::close(fd_);
+}
+
+Client::Client(Client&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+
+Client& Client::operator=(Client&& other) noexcept {
+  if (this != &other) {
+    if (fd_ != -1) ::close(fd_);
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+Client::Response Client::request(const std::string& spec_text,
+                                 RequestHeader meta) {
+  PG_CHECK(fd_ != -1, "serve client: moved-from client");
+  if (meta.request_id.empty()) {
+    static std::atomic<std::uint64_t> next{0};
+    meta.request_id =
+        "req-" + std::to_string(next.fetch_add(1, std::memory_order_relaxed));
+  }
+  meta.body_bytes = spec_text.size();
+  const std::string line = format_request_header(meta);
+  write_all(fd_, line.data(), line.size());
+  write_all(fd_, spec_text.data(), spec_text.size());
+
+  Response response;
+  std::string header_line;
+  if (!read_line(fd_, header_line, kMaxHeaderBytes)) {
+    throw std::runtime_error(
+        "serve client: server closed the connection before responding");
+  }
+  response.header = parse_response_header(header_line);
+  response.body.resize(response.header.body_bytes);
+  if (response.header.body_bytes > 0 &&
+      !read_exact(fd_, response.body.data(), response.body.size())) {
+    throw std::runtime_error("serve client: truncated response body");
+  }
+  return response;
+}
+
+}  // namespace pg::serve

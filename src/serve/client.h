@@ -1,0 +1,50 @@
+// Minimal blocking client for the pg_serve protocol, shared by the
+// pg_serve tool's client mode, the pg_bench_serve load generator, and
+// serve_test. One Client is one AF_UNIX connection; request() frames a
+// spec, blocks for the response, and hands back the parsed header plus
+// the envelope body. NOT thread-safe -- concurrent load uses one Client
+// per thread (connections are cheap; the server multiplexes them onto
+// its shared executor anyway).
+#pragma once
+
+#include <string>
+
+#include "serve/protocol.h"
+
+namespace pg::serve {
+
+class Client {
+ public:
+  struct Response {
+    ResponseHeader header;
+    std::string body;  // response envelope JSON
+    [[nodiscard]] bool ok() const { return header.status == "ok"; }
+  };
+
+  /// One connect attempt; throws std::runtime_error on failure.
+  [[nodiscard]] static Client connect(const std::string& socket_path);
+  /// Retry connecting until success or `timeout_ms` elapses (covers the
+  /// daemon's startup window in tests and CI).
+  [[nodiscard]] static Client connect_retry(const std::string& socket_path,
+                                            std::size_t timeout_ms);
+
+  ~Client();
+  Client(Client&& other) noexcept;
+  Client& operator=(Client&& other) noexcept;
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Send one spec-text request and block for its response. `meta`
+  /// carries id/priority/deadline; an empty id gets "req-<n>" from a
+  /// process-wide counter; body_bytes is always overwritten.
+  Response request(const std::string& spec_text, RequestHeader meta = {});
+
+  /// Raw fd, for tests that speak the wire format directly.
+  [[nodiscard]] int fd() const noexcept { return fd_; }
+
+ private:
+  explicit Client(int fd) : fd_(fd) {}
+  int fd_ = -1;
+};
+
+}  // namespace pg::serve

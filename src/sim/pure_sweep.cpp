@@ -58,6 +58,17 @@ std::uint64_t subkey(runtime::ContentKey base, std::uint64_t arm) {
   return base.mix(arm).digest();
 }
 
+/// Releases a single-flight claim if the owning cell throws before it can
+/// publish, so waiters are promoted instead of sleeping forever.
+struct AbandonGuard {
+  runtime::PayoffCache* cache = nullptr;
+  std::uint64_t key = 0;
+  bool active = false;
+  ~AbandonGuard() {
+    if (active && cache != nullptr) cache->abandon(key);
+  }
+};
+
 }  // namespace
 
 PureSweepResult run_pure_sweep(const ExperimentContext& ctx,
@@ -98,12 +109,27 @@ PureSweepResult run_pure_sweep(const ExperimentContext& ctx,
     const runtime::ContentKey base =
         cache != nullptr ? sweep_cell_key(fingerprint, p, gi, rep)
                          : runtime::ContentKey();
-    if (cache != nullptr && cache->lookup(subkey(base, 0), out[c].accuracy_no_attack) &&
-        cache->lookup(subkey(base, 1), out[c].accuracy_attacked) &&
-        cache->lookup(subkey(base, 2), out[c].poison_survived)) {
-      hits.fetch_add(1, std::memory_order_relaxed);
-      return;
+    // Single-flight on sub-key 0: the owner publishes it LAST (after
+    // storing 1 and 2), so a hit on 0 implies the siblings are present --
+    // concurrent cells coalesce onto one retrain instead of racing.
+    bool owner = false;
+    if (cache != nullptr) {
+      const runtime::PayoffCache::Claim claim =
+          cache->claim(subkey(base, 0), out[c].accuracy_no_attack);
+      if (claim != runtime::PayoffCache::Claim::kOwner) {
+        if (cache->lookup(subkey(base, 1), out[c].accuracy_attacked) &&
+            cache->lookup(subkey(base, 2), out[c].poison_survived)) {
+          hits.fetch_add(1, std::memory_order_relaxed);
+          return;
+        }
+        // Sibling sub-keys missing (a pre-single-flight disk snapshot
+        // stored 0 first and died mid-cell): recompute below and store
+        // the missing arms; 0 is already published, so no flight state.
+      } else {
+        owner = true;
+      }
     }
+    AbandonGuard guard{cache, owner ? subkey(base, 0) : 0, owner};
 
     util::Rng rng = streams.stream(gi, rep);
 
@@ -131,9 +157,12 @@ PureSweepResult run_pure_sweep(const ExperimentContext& ctx,
 
     retrained.fetch_add(1, std::memory_order_relaxed);
     if (cache != nullptr) {
-      cache->store(subkey(base, 0), out[c].accuracy_no_attack);
       cache->store(subkey(base, 1), out[c].accuracy_attacked);
       cache->store(subkey(base, 2), out[c].poison_survived);
+      if (owner) {
+        guard.active = false;
+        cache->publish(subkey(base, 0), out[c].accuracy_no_attack);
+      }
     }
   });
 

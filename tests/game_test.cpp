@@ -4,12 +4,14 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
 
 #include "game/best_response.h"
 #include "game/lp.h"
 #include "game/matrix_game.h"
 #include "game/pure_ne.h"
 #include "game/solvers.h"
+#include "obs/metrics.h"
 #include "runtime/executor.h"
 #include "util/rng.h"
 
@@ -409,6 +411,35 @@ TEST(ParallelSolverTest, MultiplicativeWeightsTeamBackendBitIdentical) {
       EXPECT_EQ(parallel.col_strategy, serial.col_strategy);
     }
   }
+}
+
+TEST(ParallelSolverTest, BackToBackTeamSolvesReuseTheParkedTeam) {
+  // The team-backend solvers lease their PersistentTeam from a process-
+  // wide park instead of spawning one per solve. The park always keeps
+  // the most recently released team (evicting the oldest when full), so
+  // a repeat solve of the same shape MUST reuse -- and reuse must not
+  // perturb the answer.
+  const MatrixGame g = random_game(96, 96, 31);
+  IterativeConfig cfg{.iterations = 1500, .backend = IterativeBackend::kTeam};
+  const auto serial = solve_fictitious_play(g, {.iterations = 1500});
+  runtime::ThreadPoolExecutor exec(4);
+
+  const auto first = solve_fictitious_play(g, cfg, &exec);
+  const std::uint64_t reused_before = obs::counter("obs.team.reused").value();
+  const auto second = solve_fictitious_play(g, cfg, &exec);
+  const std::uint64_t reused_after = obs::counter("obs.team.reused").value();
+
+  EXPECT_EQ(first.value, serial.value);
+  EXPECT_EQ(second.value, serial.value);
+  EXPECT_EQ(second.row_strategy, serial.row_strategy);
+  EXPECT_EQ(second.col_strategy, serial.col_strategy);
+#ifndef PG_OBS_DISABLED
+  EXPECT_GT(reused_after, reused_before)
+      << "second solve of the same shape should lease the parked team";
+#else
+  (void)reused_before;
+  (void)reused_after;
+#endif
 }
 
 TEST(ParallelSolverTest, SolveInsidePoolTaskStaysIdenticalWithoutATeam) {
