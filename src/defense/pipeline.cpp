@@ -1,5 +1,7 @@
 #include "defense/pipeline.h"
 
+#include <utility>
+
 #include "data/scaler.h"
 #include "ml/metrics.h"
 #include "util/error.h"
@@ -8,11 +10,12 @@ namespace pg::defense {
 
 Pipeline::Pipeline(PipelineConfig config) : config_(config) {}
 
-PipelineResult Pipeline::run(const data::Dataset& clean_train,
-                             const data::Dataset& test,
-                             const attack::PoisoningAttack* attack,
-                             std::size_t poison_points, const Filter* filter,
-                             util::Rng& rng) const {
+Pipeline::Prepared Pipeline::prepare(const data::Dataset& clean_train,
+                                     const data::Dataset& test,
+                                     const attack::PoisoningAttack* attack,
+                                     std::size_t poison_points,
+                                     const Filter* filter,
+                                     util::Rng& rng) const {
   PG_CHECK(!clean_train.empty(), "Pipeline: empty training data");
   PG_CHECK(!test.empty(), "Pipeline: empty test data");
 
@@ -24,30 +27,50 @@ PipelineResult Pipeline::run(const data::Dataset& clean_train,
     train = data::concatenate(clean_train, poison);
   }
 
-  PipelineResult result;
+  Prepared prep;
   FilterResult filtered;
   if (filter != nullptr) {
     util::Rng filter_rng = rng.fork(2);
     filtered = filter->apply(train, filter_rng);
-    result.detection =
+    prep.detection =
         score_detection(filtered, train.size(), clean_train.size());
   } else {
     filtered.kept = train;
   }
-  result.train_size = filtered.kept.size();
+  prep.train_size = filtered.kept.size();
 
-  util::Rng train_rng = rng.fork(3);
-  const ml::SvmTrainer trainer(config_.svm);
+  prep.train_rng = rng.fork(3);
   if (config_.standardize && filtered.kept.size() >= 2) {
     data::StandardScaler scaler;
     scaler.fit(filtered.kept);
-    result.model = trainer.train(scaler.transform(filtered.kept), train_rng);
-    result.test_accuracy = ml::accuracy(result.model, scaler.transform(test));
+    prep.train = scaler.transform(filtered.kept);
+    prep.test = scaler.transform(test);
   } else {
-    result.model = trainer.train(filtered.kept, train_rng);
-    result.test_accuracy = ml::accuracy(result.model, test);
+    prep.train = std::move(filtered.kept);
+    prep.test = test;
   }
+  return prep;
+}
+
+PipelineResult Pipeline::finish(Prepared&& prep, ml::LinearModel model) {
+  PipelineResult result;
+  result.detection = prep.detection;
+  result.train_size = prep.train_size;
+  result.test_accuracy = ml::accuracy(model, prep.test);
+  result.model = std::move(model);
   return result;
+}
+
+PipelineResult Pipeline::run(const data::Dataset& clean_train,
+                             const data::Dataset& test,
+                             const attack::PoisoningAttack* attack,
+                             std::size_t poison_points, const Filter* filter,
+                             util::Rng& rng) const {
+  Prepared prep =
+      prepare(clean_train, test, attack, poison_points, filter, rng);
+  const ml::SvmTrainer trainer(config_.svm);
+  ml::LinearModel model = trainer.train(prep.train, prep.train_rng);
+  return finish(std::move(prep), std::move(model));
 }
 
 }  // namespace pg::defense

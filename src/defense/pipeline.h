@@ -49,6 +49,35 @@ class Pipeline {
                                    const Filter* filter,
                                    util::Rng& rng) const;
 
+  /// Everything `run` does before the SGD solve, packaged so a batch
+  /// scheduler can train many pipelines' models in lockstep: `train` and
+  /// `test` are already filtered AND standardized (when configured), and
+  /// `train_rng` is the exact stream the sequential `run` would have
+  /// handed the trainer. `run(args...)` is bit-identical to
+  /// `finish(prepare(args...), trainer.train(prep.train, prep.train_rng))`.
+  struct Prepared {
+    data::Dataset train;          // filtered (+ scaled) training data
+    data::Dataset test;           // test data in the same feature space
+    DetectionScore detection;
+    std::size_t train_size = 0;   // after filtering
+    util::Rng train_rng{0};
+  };
+
+  [[nodiscard]] Prepared prepare(const data::Dataset& clean_train,
+                                 const data::Dataset& test,
+                                 const attack::PoisoningAttack* attack,
+                                 std::size_t poison_points,
+                                 const Filter* filter, util::Rng& rng) const;
+
+  /// Assemble the result from a prepared context and its trained model
+  /// (accuracy is evaluated on prep.test here).
+  [[nodiscard]] static PipelineResult finish(Prepared&& prep,
+                                             ml::LinearModel model);
+
+  [[nodiscard]] const PipelineConfig& config() const noexcept {
+    return config_;
+  }
+
  private:
   PipelineConfig config_;
 };

@@ -1,12 +1,16 @@
 #include "game/solvers.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
+#include <cstdlib>
 #include <limits>
 #include <memory>
 #include <optional>
+#include <string>
 
 #include "game/lp.h"
+#include "obs/metrics.h"
 #include "obs/trace.h"
 #include "runtime/parallel_reduce.h"
 #include "runtime/persistent_team.h"
@@ -65,14 +69,6 @@ std::size_t scan_chunks(std::size_t dim, runtime::Executor* executor) {
 constexpr std::size_t kTeamMinIterations = 64;
 /// Minimum m + n: below this even a barrier outweighs the step.
 constexpr std::size_t kTeamMinDim = 8;
-/// Minimum TOTAL work (iterations x per-iteration cells) before kAuto
-/// stands up a team: spawning and joining the resident threads costs on
-/// the order of 100us, so a solve must carry roughly half a millisecond
-/// of arithmetic before the team is a win over just dispatching (or
-/// running inline). Below this, small solves in a loop -- the
-/// solver-ablation runner's fitted games, test fixtures -- would pay a
-/// thread spawn per solve for microseconds of work.
-constexpr std::size_t kTeamMinWork = 512 * 1024;
 /// Team-path chunk floor (cells per chunk) -- far finer than the
 /// dispatch path's 512 because the per-chunk overhead is a strided loop
 /// bound, not a queue round-trip.
@@ -92,14 +88,85 @@ bool team_pays(std::size_t rows, std::size_t cols, std::size_t iterations,
   }
   if (backend == IterativeBackend::kTeam) return true;
   return iterations >= kTeamMinIterations && rows + cols >= kTeamMinDim &&
-         iterations * cells_per_iteration >= kTeamMinWork;
+         iterations * cells_per_iteration >= team_dispatch_min_work();
 }
 
 std::size_t team_chunks(std::size_t dim, std::size_t workers) {
   return std::clamp<std::size_t>(dim / kTeamMinChunk, 1, workers);
 }
 
+// ------------------------------------------------- kAuto work calibration
+
+/// Bounds on the calibrated cutoff. The floor keeps a freakishly fast
+/// probe (or a truncated timer) from standing up teams for trivial
+/// solves; the ceiling keeps a noisy first-call measurement (cold caches,
+/// a descheduled probe thread) from locking the team path out entirely.
+constexpr std::size_t kTeamMinWorkFloor = 64 * 1024;
+constexpr std::size_t kTeamMinWorkCeil = 4 * 1024 * 1024;
+/// Arithmetic a solve must carry before the resident team's spawn + join
+/// (~100us of thread management) is clearly amortized: ~5x that cost.
+constexpr double kTeamSpawnBudgetNs = 500'000.0;
+
+/// Time the representative per-cell step -- a fused score-update +
+/// best-response scan, the same shape both iterative solvers issue every
+/// iteration -- and return the best-of-passes per-cell nanoseconds.
+double probe_per_cell_ns() {
+  constexpr std::size_t kCells = 16 * 1024;
+  constexpr int kPasses = 5;
+  std::vector<double> scores(kCells, 0.0);
+  std::vector<double> column(kCells);
+  for (std::size_t i = 0; i < kCells; ++i) {
+    column[i] = static_cast<double>(i % 97) * 1e-3;
+  }
+  double best_ns = std::numeric_limits<double>::infinity();
+  double sink = 0.0;
+  for (int pass = 0; pass < kPasses; ++pass) {
+    const auto start = std::chrono::steady_clock::now();
+    double best = -std::numeric_limits<double>::infinity();
+    std::size_t arg = 0;
+    for (std::size_t i = 0; i < kCells; ++i) {
+      scores[i] += column[i];
+      if (scores[i] > best) {
+        best = scores[i];
+        arg = i;
+      }
+    }
+    const auto stop = std::chrono::steady_clock::now();
+    sink += best + static_cast<double>(arg);
+    const double ns = static_cast<double>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(stop - start)
+            .count());
+    best_ns = std::min(best_ns, ns);
+  }
+  // Keep `sink` live so the scan cannot be optimized away.
+  if (sink == std::numeric_limits<double>::quiet_NaN()) std::abort();
+  return std::max(best_ns, 1.0) / static_cast<double>(kCells);
+}
+
 }  // namespace
+
+std::size_t team_dispatch_min_work() {
+  static const std::size_t cutoff = [] {
+    std::size_t value = 0;
+    if (const char* env = std::getenv("PG_TEAM_MIN_WORK");
+        env != nullptr && *env != '\0') {
+      char* end = nullptr;
+      const unsigned long long parsed = std::strtoull(env, &end, 10);
+      PG_CHECK(end != nullptr && *end == '\0',
+               "PG_TEAM_MIN_WORK: expected a cell count, got '" +
+                   std::string(env) + "'");
+      value = static_cast<std::size_t>(parsed);
+    } else {
+      value = static_cast<std::size_t>(kTeamSpawnBudgetNs /
+                                       probe_per_cell_ns());
+    }
+    return std::clamp(value, kTeamMinWorkFloor, kTeamMinWorkCeil);
+  }();
+  // Re-recorded (cheap CAS-max) on every call so the gauge survives the
+  // per-run metric resets the scenario engine performs.
+  obs::gauge("obs.solver.team_min_work").record(cutoff);
+  return cutoff;
+}
 
 Equilibrium solve_lp_equilibrium(const MatrixGame& game,
                                  runtime::Executor* executor,

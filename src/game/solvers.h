@@ -53,6 +53,19 @@ namespace pg::game {
 /// backend returns bit-identical equilibria.
 enum class IterativeBackend { kAuto, kDispatch, kTeam };
 
+/// kAuto's total-work cutoff (iterations x per-iteration cells) for
+/// standing up a resident team, calibrated ONCE per process from a quick
+/// microprobe of the best-response scan kernel on this host (spawn-budget
+/// nanoseconds / measured per-cell nanoseconds), instead of a hard-coded
+/// size guess. Clamped to [64K, 4M] cells; the PG_TEAM_MIN_WORK env var
+/// (a cell count) overrides the probe entirely. The chosen value is
+/// exposed as the `obs.solver.team_min_work` gauge. Thread-safe; the
+/// probe runs on first call and the result is cached for the process
+/// lifetime. Calibration only moves the dispatch/team choice -- every
+/// backend returns bit-identical equilibria, so results never depend on
+/// what this returns.
+[[nodiscard]] std::size_t team_dispatch_min_work();
+
 /// One convergence measurement: the duality-gap estimate after
 /// `iteration` steps (best-response payoff vs. the running average for
 /// fictitious play; instantaneous exploitability spread for Hedge).

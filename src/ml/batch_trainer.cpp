@@ -1,0 +1,303 @@
+#include "ml/batch_trainer.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "obs/trace.h"
+#include "util/error.h"
+
+namespace pg::ml {
+
+namespace {
+
+// Shared lane bookkeeping for both loss functions.
+struct BatchLayout {
+  std::size_t cells = 0;   // K: real lanes
+  std::size_t lanes = 0;   // W: K rounded up to the vector width
+  std::size_t dim = 0;     // common feature dimension
+  std::size_t max_n = 0;   // widest lane's training-set size
+};
+
+BatchLayout validate_batch(const std::vector<BatchCell>& cells,
+                           std::size_t width) {
+  PG_CHECK(!cells.empty(), "BatchedLinearTrainer: empty batch");
+  BatchLayout layout;
+  layout.cells = cells.size();
+  for (const BatchCell& cell : cells) {
+    PG_CHECK(cell.train != nullptr && !cell.train->empty(),
+             "BatchedLinearTrainer: every cell needs a non-empty training set");
+    layout.max_n = std::max(layout.max_n, cell.train->size());
+  }
+  layout.dim = cells.front().train->dim();
+  for (const BatchCell& cell : cells) {
+    PG_CHECK(cell.train->dim() == layout.dim,
+             "BatchedLinearTrainer: batch cells must share one feature "
+             "dimension");
+  }
+  layout.lanes = ((layout.cells + width - 1) / width) * width;
+  PG_CHECK(layout.lanes <= la::simd::kMaxSoaLanes,
+           "BatchedLinearTrainer: batch exceeds the SoA lane cap");
+  return layout;
+}
+
+// Hot-loop pointer hoists shared by both loss functions: per-lane
+// feature-matrix bases and label arrays (Dataset::label() is
+// bounds-checked and out of line -- too expensive once per lane-step),
+// plus a zero dummy row so exhausted/padded lanes always hand
+// soa_gather a readable pointer (the step kernels mask those lanes, so
+// the gathered zeros are never observable).
+struct LanePointers {
+  std::vector<const double*> feat;
+  std::vector<const int*> labels;
+  std::vector<double> dummy;
+  std::vector<const double*> rows;
+
+  LanePointers(const std::vector<BatchCell>& cells, const BatchLayout& layout)
+      : feat(layout.cells),
+        labels(layout.cells),
+        dummy(layout.dim, 0.0),
+        rows(layout.lanes, dummy.data()) {
+    for (std::size_t k = 0; k < layout.cells; ++k) {
+      feat[k] = cells[k].train->features().data().data();
+      labels[k] = cells[k].train->labels().data();
+    }
+  }
+
+  /// Point rows[k] at step s's sample (dummy when the lane is exhausted)
+  /// and software-prefetch the FOLLOWING step's row and label: the
+  /// shuffled orders make every access a random row of a working set the
+  /// hardware prefetcher cannot predict, and a full SGD step of lead
+  /// time covers an L2/L3 miss that a just-in-time prefetch would not.
+  void stage_lane(const std::vector<std::size_t>& order, std::size_t k,
+                  std::size_t s, std::size_t d) {
+    rows[k] = s < order.size() ? feat[k] + order[s] * d : dummy.data();
+    if (s + 1 < order.size()) {
+      const double* nxt = feat[k] + order[s + 1] * d;
+      for (std::size_t c = 0; c < d; c += 8) __builtin_prefetch(nxt + c);
+      __builtin_prefetch(labels[k] + order[s + 1]);
+    }
+  }
+
+  void stage(const std::vector<std::vector<std::size_t>>& orders,
+             std::size_t s, std::size_t d) {
+    for (std::size_t k = 0; k < feat.size(); ++k) {
+      stage_lane(orders[k], k, s, d);
+    }
+  }
+};
+
+std::vector<std::vector<std::size_t>> make_orders(
+    const std::vector<BatchCell>& cells) {
+  std::vector<std::vector<std::size_t>> orders(cells.size());
+  for (std::size_t k = 0; k < cells.size(); ++k) {
+    orders[k].resize(cells[k].train->size());
+    std::iota(orders[k].begin(), orders[k].end(), std::size_t{0});
+  }
+  return orders;
+}
+
+}  // namespace
+
+std::vector<std::vector<std::size_t>> plan_batches(
+    const std::vector<std::size_t>& sizes, std::size_t width) {
+  PG_CHECK(width >= 1 && width <= la::simd::kMaxSoaLanes,
+           "plan_batches: width must be in [1, kMaxSoaLanes]");
+  std::vector<std::size_t> by_size(sizes.size());
+  std::iota(by_size.begin(), by_size.end(), std::size_t{0});
+  std::stable_sort(by_size.begin(), by_size.end(),
+                   [&sizes](std::size_t a, std::size_t b) {
+                     return sizes[a] > sizes[b];
+                   });
+  std::vector<std::vector<std::size_t>> batches;
+  for (std::size_t i = 0; i < by_size.size(); i += width) {
+    const std::size_t end = std::min(i + width, by_size.size());
+    batches.emplace_back(by_size.begin() + static_cast<std::ptrdiff_t>(i),
+                         by_size.begin() + static_cast<std::ptrdiff_t>(end));
+  }
+  return batches;
+}
+
+BatchedLinearTrainer::BatchedLinearTrainer(la::simd::Tier tier)
+    : ops_(&la::simd::ops(tier)) {}
+
+la::simd::Tier BatchedLinearTrainer::tier() const noexcept {
+  return ops_->tier;
+}
+
+std::vector<LinearModel> BatchedLinearTrainer::train_svm(
+    const SvmConfig& config, std::vector<BatchCell>& cells) const {
+  obs::Span span("sgd_svm_batched", "solver");
+  PG_CHECK(config.epochs >= 1, "SvmConfig: epochs must be >= 1");
+  PG_CHECK(config.lambda > 0.0, "SvmConfig: lambda must be > 0");
+  const BatchLayout layout = validate_batch(cells, ops_->width);
+  const std::size_t K = layout.cells;
+  const std::size_t W = layout.lanes;
+  const std::size_t d = layout.dim;
+  const double lambda = config.lambda;
+
+  std::vector<double> w_soa(d * W, 0.0);
+  std::vector<double> w_avg(d * W, 0.0);
+  // Two x buffers: step s+1 is gathered into the spare one while step
+  // s's update is still in flight (see the pipeline comment below).
+  std::vector<double> x_a(d * W, 0.0);
+  std::vector<double> x_b(d * W, 0.0);
+  double* x_cur = x_a.data();
+  double* x_nxt = x_b.data();
+  std::vector<double> b(W, 0.0);
+  std::vector<double> b_avg(W, 0.0);
+  // Padded lanes [K, W) keep the identity coefficients forever.
+  std::vector<double> decay(W, 1.0);
+  std::vector<double> step(W, 0.0);
+  std::vector<double> scores(W, 0.0);
+  std::vector<std::size_t> t(K, 0);
+  auto orders = make_orders(cells);
+  LanePointers lanes(cells, layout);
+
+  std::size_t avg_count = 0;
+  const std::size_t avg_start_epoch = config.epochs / 2;
+
+  for (std::size_t epoch = 0; epoch < config.epochs; ++epoch) {
+    // Each lane shuffles its OWN order with its OWN stream -- the exact
+    // per-epoch draw sequence of the sequential trainer.
+    for (std::size_t k = 0; k < K; ++k) cells[k].rng.shuffle(orders[k]);
+    // Pipelined epoch: gather + score step 0, then each iteration's
+    // fused kernel applies step s's update and produces step s+1's
+    // gathered sample and score in the same sweep of w (one pass over
+    // memory instead of three; FP ops and their order are unchanged).
+    lanes.stage(orders, 0, d);
+    ops_->soa_gather(lanes.rows.data(), d, x_cur, W);
+    ops_->soa_score(w_soa.data(), x_cur, b.data(), scores.data(), d, W);
+    for (std::size_t s = 0; s < layout.max_n; ++s) {
+      const bool has_next = s + 1 < layout.max_n;
+      for (std::size_t k = 0; k < K; ++k) {
+        if (s >= orders[k].size()) {  // exhausted (ragged) lane
+          decay[k] = 1.0;
+          step[k] = 0.0;
+        } else {
+          ++t[k];
+          const double yi = static_cast<double>(lanes.labels[k][orders[k][s]]);
+          const double eta = 1.0 / (lambda * static_cast<double>(t[k]) + 1.0);
+          decay[k] = 1.0 - eta * lambda;
+          // Branchless hinge: the non-violating side takes step = 0, for
+          // which both the w update (step * x contributes +/-0.0 through
+          // decay-only lanes -- already the masked-lane identity) and
+          // b += +0.0 (b is never -0.0: it starts at +0.0 and finite
+          // nonzero adds can only cancel to +0.0) are exact no-ops, so
+          // the reference's taken/not-taken branches stay bit-identical.
+          step[k] = yi * scores[k] < 1.0 ? eta * yi : 0.0;
+          b[k] += step[k];  // bias unregularized, as in the reference
+        }
+        if (has_next) lanes.stage_lane(orders[k], k, s + 1, d);
+      }
+      // b is final for step s+1 here (this step's bookkeeping already
+      // applied), so the fused score can seed its accumulators with it.
+      if (has_next) {
+        ops_->soa_affine_fused(w_soa.data(), x_cur, decay.data(), step.data(),
+                               lanes.rows.data(), x_nxt, b.data(),
+                               scores.data(), d, W);
+        std::swap(x_cur, x_nxt);
+      } else {
+        ops_->soa_affine_step(w_soa.data(), x_cur, decay.data(), step.data(),
+                              d, W);
+      }
+    }
+    if (config.average && epoch >= avg_start_epoch) {
+      ops_->axpy(1.0, w_soa.data(), w_avg.data(), d * W);
+      for (std::size_t k = 0; k < K; ++k) b_avg[k] += b[k];
+      ++avg_count;
+    }
+  }
+
+  std::vector<LinearModel> models;
+  models.reserve(K);
+  if (config.average && avg_count > 0) {
+    ops_->scale(w_avg.data(), 1.0 / static_cast<double>(avg_count), d * W);
+    for (std::size_t k = 0; k < K; ++k) {
+      la::Vector w(d);
+      for (std::size_t c = 0; c < d; ++c) w[c] = w_avg[c * W + k];
+      models.emplace_back(std::move(w),
+                          b_avg[k] / static_cast<double>(avg_count));
+    }
+  } else {
+    for (std::size_t k = 0; k < K; ++k) {
+      la::Vector w(d);
+      for (std::size_t c = 0; c < d; ++c) w[c] = w_soa[c * W + k];
+      models.emplace_back(std::move(w), b[k]);
+    }
+  }
+  return models;
+}
+
+std::vector<LinearModel> BatchedLinearTrainer::train_logreg(
+    const LogRegConfig& config, std::vector<BatchCell>& cells) const {
+  obs::Span span("sgd_logreg_batched", "solver");
+  PG_CHECK(config.epochs >= 1, "LogRegConfig: epochs must be >= 1");
+  PG_CHECK(config.lambda >= 0.0, "LogRegConfig: lambda must be >= 0");
+  PG_CHECK(config.learning_rate > 0.0,
+           "LogRegConfig: learning_rate must be > 0");
+  const BatchLayout layout = validate_batch(cells, ops_->width);
+  const std::size_t K = layout.cells;
+  const std::size_t W = layout.lanes;
+  const std::size_t d = layout.dim;
+  const double lambda = config.lambda;
+
+  std::vector<double> w_soa(d * W, 0.0);
+  std::vector<double> x_a(d * W, 0.0);
+  std::vector<double> x_b(d * W, 0.0);
+  double* x_cur = x_a.data();
+  double* x_nxt = x_b.data();
+  std::vector<double> b(W, 0.0);
+  // eta = 0, g = 0 masks exhausted and padded lanes bit-exactly:
+  // w -= 0 * (0 * x + lambda * w) leaves w untouched.
+  std::vector<double> eta(W, 0.0);
+  std::vector<double> g(W, 0.0);
+  std::vector<double> scores(W, 0.0);
+  std::vector<std::size_t> t(K, 0);
+  auto orders = make_orders(cells);
+  LanePointers lanes(cells, layout);
+
+  for (std::size_t epoch = 0; epoch < config.epochs; ++epoch) {
+    for (std::size_t k = 0; k < K; ++k) cells[k].rng.shuffle(orders[k]);
+    // Same pipelined epoch as train_svm.
+    lanes.stage(orders, 0, d);
+    ops_->soa_gather(lanes.rows.data(), d, x_cur, W);
+    ops_->soa_score(w_soa.data(), x_cur, b.data(), scores.data(), d, W);
+    for (std::size_t s = 0; s < layout.max_n; ++s) {
+      const bool has_next = s + 1 < layout.max_n;
+      for (std::size_t k = 0; k < K; ++k) {
+        if (s >= orders[k].size()) {
+          eta[k] = 0.0;
+          g[k] = 0.0;
+        } else {
+          ++t[k];
+          const double yi = static_cast<double>(lanes.labels[k][orders[k][s]]);
+          g[k] = -yi * sigmoid(-yi * scores[k]);
+          eta[k] = config.learning_rate /
+                   (1.0 + static_cast<double>(t[k]) * lambda);
+          b[k] -= eta[k] * g[k];
+        }
+        if (has_next) lanes.stage_lane(orders[k], k, s + 1, d);
+      }
+      if (has_next) {
+        ops_->soa_logreg_fused(w_soa.data(), x_cur, eta.data(), g.data(),
+                               lambda, lanes.rows.data(), x_nxt, b.data(),
+                               scores.data(), d, W);
+        std::swap(x_cur, x_nxt);
+      } else {
+        ops_->soa_logreg_step(w_soa.data(), x_cur, eta.data(), g.data(),
+                              lambda, d, W);
+      }
+    }
+  }
+
+  std::vector<LinearModel> models;
+  models.reserve(K);
+  for (std::size_t k = 0; k < K; ++k) {
+    la::Vector w(d);
+    for (std::size_t c = 0; c < d; ++c) w[c] = w_soa[c * W + k];
+    models.emplace_back(std::move(w), b[k]);
+  }
+  return models;
+}
+
+}  // namespace pg::ml

@@ -30,6 +30,7 @@
 #include "defense/roni.h"
 #include "game/best_response.h"
 #include "game/solvers.h"
+#include "la/simd.h"
 #include "la/vector_ops.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -66,6 +67,28 @@ sim::ExperimentConfig experiment_config(const ScenarioSpec& spec) {
   return cfg;
 }
 
+/// Resolve the spec's retrain-kernel request. nullopt = the bit-identical
+/// reference default. kernel=simd resolves the tier (spec `simd=` over
+/// $PG_SIMD over cpuid; an unsatisfiable request throws a one-line error,
+/// never a silent fallback) and records it on the obs.simd.tier gauge
+/// (encoded tier+1, so 0 distinguishes "never requested").
+std::optional<sim::RetrainKernel> resolve_retrain_kernel(
+    const ScenarioSpec& spec) {
+  if (spec.kernel.empty() || spec.kernel == "reference") {
+    PG_CHECK(spec.simd.empty(),
+             "simd= tier override requires kernel=simd (the reference "
+             "kernel has no tiers)");
+    return std::nullopt;
+  }
+  PG_CHECK(spec.kernel == "simd", "unknown kernel '" + spec.kernel +
+                                      "' (expected reference or simd)");
+  sim::RetrainKernel kernel;
+  kernel.tier = la::simd::resolve_tier(spec.simd);
+  obs::gauge("obs.simd.tier")
+      .record(static_cast<std::uint64_t>(kernel.tier) + 1);
+  return kernel;
+}
+
 void add_context_metrics(const sim::ExperimentContext& ctx,
                          ScenarioResult& result) {
   result.add_metric("corpus_source", ctx.corpus_source);
@@ -96,11 +119,13 @@ void run_pure_sweep_scenario(const ScenarioSpec& spec, runtime::Executor* exec,
       sim::prepare_experiment(experiment_config(spec));
   add_context_metrics(ctx, result);
 
+  const auto kernel = resolve_retrain_kernel(spec);
   sim::PureSweepStats sweep_stats;
   const auto grid = sim::sweep_grid(spec.sweep_max, spec.sweep_steps);
   const auto sweep = sim::run_pure_sweep(
       ctx, grid, spec.replications, exec,
-      bundle.shard(sim::context_fingerprint(ctx)), &sweep_stats);
+      bundle.shard(sim::context_fingerprint(ctx)), &sweep_stats,
+      kernel ? &*kernel : nullptr);
   bundle.add_sweep_stats(sweep_stats);
   result.tables.push_back(sweep_table(sweep));
 
@@ -137,10 +162,12 @@ void run_mixed_table_scenario(const ScenarioSpec& spec, runtime::Executor* exec,
   const runtime::PayoffEvaluator evaluator(runtime::executor_or_serial(exec),
                                            cache);
 
+  const auto kernel = resolve_retrain_kernel(spec);
+  const sim::RetrainKernel* kptr = kernel ? &*kernel : nullptr;
   sim::PureSweepStats sweep_stats;
   const auto grid = sim::sweep_grid(spec.sweep_max, spec.sweep_steps);
   const auto sweep = sim::run_pure_sweep(ctx, grid, spec.replications, exec,
-                                         cache, &sweep_stats);
+                                         cache, &sweep_stats, kptr);
   bundle.add_sweep_stats(sweep_stats);
   const auto curves = sim::fit_payoff_curves(sweep);
   const core::PoisoningGame game(curves, ctx.poison_budget);
@@ -163,6 +190,7 @@ void run_mixed_table_scenario(const ScenarioSpec& spec, runtime::Executor* exec,
 
     sim::MixedEvalConfig ecfg;
     ecfg.draws = spec.draws;
+    ecfg.kernel = kptr;
     const auto eval =
         sim::evaluate_mixed_defense(ctx, sol.strategy, ecfg, evaluator);
 
@@ -234,11 +262,12 @@ void run_pure_ne_scenario(const ScenarioSpec& spec, runtime::Executor* exec,
   const sim::ExperimentContext ctx =
       sim::prepare_experiment(experiment_config(spec));
   add_context_metrics(ctx, result);
+  const auto kernel = resolve_retrain_kernel(spec);
   sim::PureSweepStats sweep_stats;
   const auto sweep = sim::run_pure_sweep(
       ctx, sim::sweep_grid(spec.sweep_max, spec.sweep_steps),
       spec.replications, exec, bundle.shard(sim::context_fingerprint(ctx)),
-      &sweep_stats);
+      &sweep_stats, kernel ? &*kernel : nullptr);
   bundle.add_sweep_stats(sweep_stats);
   report("measured (Spambase-like sweep)",
          core::PoisoningGame(sim::fit_payoff_curves(sweep),
@@ -278,16 +307,19 @@ void run_support_sweep_scenario(const ScenarioSpec& spec,
   const runtime::PayoffEvaluator evaluator(runtime::executor_or_serial(exec),
                                            cache);
 
+  const auto kernel = resolve_retrain_kernel(spec);
+  const sim::RetrainKernel* kptr = kernel ? &*kernel : nullptr;
   sim::PureSweepStats sweep_stats;
   const auto sweep = sim::run_pure_sweep(
       ctx, sim::sweep_grid(spec.sweep_max, spec.sweep_steps),
-      spec.replications, exec, cache, &sweep_stats);
+      spec.replications, exec, cache, &sweep_stats, kptr);
   bundle.add_sweep_stats(sweep_stats);
   const auto curves = sim::fit_payoff_curves(sweep);
   const core::PoisoningGame game(curves, ctx.poison_budget);
 
   sim::MixedEvalConfig ecfg;
   ecfg.draws = spec.draws;
+  ecfg.kernel = kptr;
   const auto rows = sim::run_support_sweep(ctx, game, spec.support_max, {},
                                            ecfg, exec, &evaluator);
 
@@ -346,10 +378,13 @@ void run_transfer_scenario(const ScenarioSpec& spec, runtime::Executor* exec,
     targets.push_back(t);
   }
 
+  const auto kernel = resolve_retrain_kernel(spec);
   sim::TransferConfig tcfg;
   tcfg.eval.draws = spec.draws;
   tcfg.sweep_replications = spec.replications;
   tcfg.support_size = spec.support_max;
+  tcfg.kernel = kernel ? &*kernel : nullptr;
+  tcfg.eval.kernel = tcfg.kernel;
 
   runtime::PayoffCache* source_cache =
       bundle.shard(sim::context_fingerprint(source));
@@ -461,11 +496,12 @@ void run_solver_ablation_scenario(const ScenarioSpec& spec,
   const sim::ExperimentContext ctx =
       sim::prepare_experiment(experiment_config(spec));
   add_context_metrics(ctx, result);
+  const auto kernel = resolve_retrain_kernel(spec);
   sim::PureSweepStats sweep_stats;
   const auto sweep = sim::run_pure_sweep(
       ctx, sim::sweep_grid(spec.sweep_max, spec.sweep_steps),
       spec.replications, exec, bundle.shard(sim::context_fingerprint(ctx)),
-      &sweep_stats);
+      &sweep_stats, kernel ? &*kernel : nullptr);
   bundle.add_sweep_stats(sweep_stats);
   ablate("measured_curves",
          core::PoisoningGame(sim::fit_payoff_curves(sweep),
@@ -1059,6 +1095,13 @@ ScenarioResult run_scenario_impl(const ScenarioSpec& spec,
     for (const std::string& value : axis.values) (void)runner_for(value);
   }
   if (!kind_swept) (void)runner_for(spec.kind);
+
+  // Surface the host's vector ISA on every run (metrics snapshots carry
+  // it even for reference runs), and fail an unsatisfiable kernel=simd
+  // request HERE, before any cell retrains.
+  obs::gauge("obs.simd.detected")
+      .record(static_cast<std::uint64_t>(la::simd::detect_tier()) + 1);
+  (void)resolve_retrain_kernel(spec);
 
   util::Stopwatch watch;
   // ONE cache bundle for the whole grid: points sharing an experiment
