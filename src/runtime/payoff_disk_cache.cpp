@@ -213,14 +213,19 @@ std::size_t DiskPayoffCache::enforce_max_bytes() const {
   std::size_t evicted = 0;
   for (const Shard& shard : shards) {
     if (total <= max_bytes_) break;
-    std::filesystem::remove(shard.path, ec);
+    const bool removed = std::filesystem::remove(shard.path, ec);
     if (ec) {
       util::log_warn() << "payoff disk cache: cannot evict " << shard.name
                        << ": " << ec.message();
       continue;
     }
+    // Either way the shard no longer occupies the directory, so it stops
+    // counting against the budget -- but only an unlink WE performed is an
+    // eviction. `removed == false` (no error) means a concurrent worker
+    // sharing this cache dir already removed it between directory_iterator
+    // and here: multi-process steady state, silent by design.
     total -= shard.bytes;
-    ++evicted;
+    if (removed) ++evicted;
   }
   if (evicted > 0) {
     static obs::Counter& obs_evicted = obs::counter("obs.disk.shards_evicted");

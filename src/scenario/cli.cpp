@@ -1,7 +1,11 @@
 #include "scenario/cli.h"
 
+#include <sys/wait.h>
+#include <unistd.h>
+
 #include <cstdlib>
 #include <fstream>
+#include <iostream>
 #include <ostream>
 #include <sstream>
 
@@ -81,6 +85,112 @@ int run_compare(const CliOptions& options, std::ostream& out,
   return 1;
 }
 
+/// Strict base-10 parse for shard counts/indices (no signs, no spaces).
+std::size_t parse_count(const std::string& token, const std::string& what) {
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(token.c_str(), &end, 10);
+  PG_CHECK(!token.empty() && end != nullptr && *end == '\0' &&
+               token.find_first_not_of("0123456789") == std::string::npos,
+           what + ", got '" + token + "'");
+  return static_cast<std::size_t>(v);
+}
+
+/// `pg_run --merge a.json b.json ... [--out-file merged.json]`: stitch
+/// shard partials into the canonical merged artifact. All validation
+/// (schema, disjointness, completeness) lives in merge_partials.
+int run_merge(const CliOptions& options, std::ostream& out) {
+  std::vector<std::pair<std::string, JsonValue>> partials;
+  partials.reserve(options.merge_inputs.size());
+  for (const std::string& path : options.merge_inputs) {
+    partials.emplace_back(path, parse_json(read_file(path)));
+  }
+  const ScenarioResult merged = merge_partials(partials);
+  if (!options.out_file.empty()) {
+    std::ofstream file(options.out_file);
+    PG_CHECK(static_cast<bool>(file),
+             "cannot write output file: " + options.out_file);
+    write_result(merged, options.out_format, file);
+    out << "merged " << options.merge_inputs.size()
+        << " shard partial(s) -> " << options.out_file << "\n";
+  } else {
+    write_result(merged, options.out_format, out);
+  }
+  return 0;
+}
+
+/// `pg_run --shard-exec N`: the single-machine orchestrator. Fork N
+/// worker processes BEFORE this process creates any executor threads
+/// (fork + threads do not mix); each worker re-enters run_cli as
+/// `--shard i/N` writing `<out-file>.shard-<i>`, all of them sharing the
+/// run's cache dir -- so cross-worker cell reuse goes through
+/// DiskPayoffCache::claim/publish for real. The parent waits, merges
+/// in-process, and writes the merged artifact; the partials stay on disk
+/// for inspection.
+int run_shard_exec(const CliOptions& options, std::ostream& out,
+                   std::ostream& err) {
+  const std::size_t workers = options.shard_exec;
+  ensure_writable(options.out_file, "output file");
+  std::vector<std::string> paths(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    paths[i] = options.out_file + ".shard-" + std::to_string(i);
+  }
+  std::vector<pid_t> pids(workers, -1);
+  for (std::size_t i = 0; i < workers; ++i) {
+    const pid_t pid = ::fork();
+    PG_CHECK(pid >= 0, "--shard-exec: fork failed");
+    if (pid == 0) {
+      CliOptions child = options;
+      child.shard_exec = 0;
+      child.shard_index = i;
+      child.shard_total = workers;
+      child.out_file = paths[i];
+      child.out_format = "json";
+      if (!options.metrics_out.empty()) {
+        child.metrics_out =
+            options.metrics_out + ".shard-" + std::to_string(i);
+      }
+      // Workers stay quiet on stdout (the parent prints the summary);
+      // their error lines go to the shared stderr. _Exit skips atexit
+      // and static destructors -- correct for a forked worker.
+      std::ostringstream quiet;
+      int code = 1;
+      try {
+        code = run_cli(child, quiet, std::cerr);
+      } catch (...) {
+      }
+      std::_Exit(code);
+    }
+    pids[i] = pid;
+  }
+  bool failed = false;
+  for (std::size_t i = 0; i < workers; ++i) {
+    int status = 0;
+    const pid_t waited = ::waitpid(pids[i], &status, 0);
+    if (waited != pids[i] || !WIFEXITED(status) ||
+        WEXITSTATUS(status) != 0) {
+      err << "error: --shard-exec worker " << i << "/" << workers
+          << " failed\n";
+      failed = true;
+    }
+  }
+  PG_CHECK(!failed,
+           "--shard-exec: one or more shard workers failed (their error "
+           "output is above)");
+  std::vector<std::pair<std::string, JsonValue>> partials;
+  partials.reserve(workers);
+  for (const std::string& path : paths) {
+    partials.emplace_back(path, parse_json(read_file(path)));
+  }
+  const ScenarioResult merged = merge_partials(partials);
+  std::ofstream file(options.out_file);
+  PG_CHECK(static_cast<bool>(file),
+           "cannot write output file: " + options.out_file);
+  write_result(merged, options.out_format, file);
+  out << "merged " << workers << " shard partial(s) -> " << options.out_file
+      << "\n";
+  return 0;
+}
+
 }  // namespace
 
 CliOptions parse_cli(const std::vector<std::string>& args) {
@@ -144,6 +254,34 @@ CliOptions parse_cli(const std::vector<std::string>& args) {
     } else if (arg == "--metrics-out") {
       options.metrics_out = flag_value(args, i, arg);
       options.overrides.emplace_back("metrics", "true");
+    } else if (arg == "--shard") {
+      const std::string value = flag_value(args, i, arg);
+      const std::size_t slash = value.find('/');
+      PG_CHECK(slash != std::string::npos && slash > 0 &&
+                   slash + 1 < value.size(),
+               "--shard expects i/N (e.g. 0/3), got '" + value + "'");
+      options.shard_index = parse_count(
+          value.substr(0, slash), "--shard expects i/N (e.g. 0/3)");
+      options.shard_total = parse_count(
+          value.substr(slash + 1), "--shard expects i/N (e.g. 0/3)");
+      PG_CHECK(options.shard_total >= 1,
+               "--shard: total shard count must be >= 1, got '" + value +
+                   "'");
+      PG_CHECK(options.shard_index < options.shard_total,
+               "--shard: index " + std::to_string(options.shard_index) +
+                   " out of range for " +
+                   std::to_string(options.shard_total) + " shard(s)");
+    } else if (arg == "--shard-exec") {
+      options.shard_exec = parse_count(
+          flag_value(args, i, arg), "--shard-exec expects a worker count");
+      PG_CHECK(options.shard_exec >= 1 && options.shard_exec <= 1024,
+               "--shard-exec expects 1-1024 workers, got " +
+                   std::to_string(options.shard_exec));
+    } else if (arg == "--merge") {
+      options.merge = true;
+    } else if (options.merge && arg.rfind("--", 0) != 0) {
+      // Trailing non-flag arguments after --merge are the partials.
+      options.merge_inputs.push_back(arg);
     } else {
       PG_CHECK(false, "unknown argument: " + arg + "\n" + cli_usage());
     }
@@ -158,6 +296,40 @@ CliOptions parse_cli(const std::vector<std::string>& args) {
   PG_CHECK(options.out_format == "text" || options.out_format == "json" ||
                options.out_format == "csv",
            "--out expects json, csv, or text");
+  if (options.merge) {
+    PG_CHECK(options.scenario.empty() && options.spec_file.empty(),
+             "--merge does not combine with --scenario/--spec");
+    PG_CHECK(!options.compare, "--merge does not combine with --compare");
+    PG_CHECK(options.shard_total == 0 && options.shard_exec == 0,
+             "--merge does not combine with --shard/--shard-exec");
+    PG_CHECK(!options.merge_inputs.empty(),
+             "--merge needs at least one partial artifact "
+             "(pg_run --merge a.json b.json ...)");
+    PG_CHECK(options.metrics_out.empty(),
+             "--metrics-out does not apply to --merge (merging runs no "
+             "scenario)");
+  }
+  if (options.shard_total > 0) {
+    PG_CHECK(!options.compare, "--shard does not combine with --compare");
+  }
+  if (options.shard_exec > 0) {
+    PG_CHECK(options.shard_total == 0,
+             "--shard-exec and --shard are mutually exclusive (the "
+             "orchestrator assigns worker shards itself)");
+    PG_CHECK(!options.compare, "--shard-exec does not combine with "
+                               "--compare");
+    PG_CHECK(!options.out_file.empty(),
+             "--shard-exec needs --out-file (the merged artifact "
+             "destination; partials land next to it)");
+    PG_CHECK(!options.print_spec,
+             "--print-spec does not combine with --shard-exec");
+    for (const auto& [key, value] : options.overrides) {
+      (void)value;
+      PG_CHECK(key != "trace",
+               "--trace does not combine with --shard-exec (N workers "
+               "would race on one trace file)");
+    }
+  }
   return options;
 }
 
@@ -170,6 +342,8 @@ std::string cli_usage() {
       "  pg_run --scenario <name> [opts]    run a registered scenario\n"
       "  pg_run --spec <file> [opts]        run a key=value spec file\n"
       "  pg_run --compare A.json B.json     diff two JSON result artifacts\n"
+      "  pg_run --merge P0.json P1.json ... stitch --shard partials into\n"
+      "                                     the canonical merged result\n"
       "\n"
       "run options:\n"
       "  --set key=value   override one spec field (repeatable, last wins)\n"
@@ -191,6 +365,15 @@ std::string cli_usage() {
       "                    (open in chrome://tracing or Perfetto)\n"
       "  --metrics-out PATH  write the run's counter/timer snapshot as\n"
       "                    JSON (implies --set metrics=true)\n"
+      "  --shard i/N       run the deterministic stride {i, i+N, i+2N, ...}\n"
+      "                    of the sweep grid (plan indices) and emit a\n"
+      "                    partial artifact; point workers at ONE shared\n"
+      "                    --cache-dir so they reuse each other's retrains,\n"
+      "                    then stitch the N partials with --merge\n"
+      "  --shard-exec N    single-machine orchestrator: fork N local shard\n"
+      "                    workers over the shared cache dir, wait, merge,\n"
+      "                    and write the merged artifact to --out-file\n"
+      "                    (partials stay at <out-file>.shard-<i>)\n"
       "  --print-spec      print the resolved spec and exit\n"
       "\n"
       "compare options (regression triage; exits 1 past tolerance):\n"
@@ -222,10 +405,13 @@ int run_cli(const CliOptions& options, std::ostream& out, std::ostream& err) {
     if (options.compare) {
       return run_compare(options, out, err);
     }
+    if (options.merge) {
+      return run_merge(options, out);
+    }
 
     PG_CHECK(!options.scenario.empty() || !options.spec_file.empty(),
-             "nothing to run: pass --list, --scenario, --spec, or "
-             "--compare\n" +
+             "nothing to run: pass --list, --scenario, --spec, --merge, "
+             "or --compare\n" +
                  cli_usage());
     // Resolution (name/spec-text + overrides -> runnable spec) lives in
     // RequestOptions so pg_serve requests follow the exact same
@@ -253,6 +439,12 @@ int run_cli(const CliOptions& options, std::ostream& out, std::ostream& err) {
       return 0;
     }
 
+    if (options.shard_exec > 0) {
+      // Fork the workers BEFORE any executor threads exist in this
+      // process (each worker builds its own runtime after the fork).
+      return run_shard_exec(options, out, err);
+    }
+
     // Probe every output path BEFORE the run: a typo'd --out-file/--trace/
     // --metrics-out must be a one-line error now, not a dead artifact
     // after minutes of compute.
@@ -264,7 +456,11 @@ int run_cli(const CliOptions& options, std::ostream& out, std::ostream& err) {
       ensure_writable(options.metrics_out, "metrics file");
     }
 
-    const ScenarioResult result = run_scenario(spec);
+    const ScenarioResult result =
+        options.shard_total > 0
+            ? run_scenario_shard(spec,
+                                 {options.shard_index, options.shard_total})
+            : run_scenario(spec);
     if (!options.out_file.empty()) {
       std::ofstream file(options.out_file);
       PG_CHECK(static_cast<bool>(file),

@@ -34,6 +34,20 @@ struct CliOptions {
   /// override and lives in `overrides`.
   std::string metrics_out;
 
+  // ---- distributed sweep sharding -------------------------------------
+  /// --shard i/N: run the deterministic stride {i, i+N, ...} of the
+  /// sweep grid and emit a partial artifact. shard_total == 0 = off.
+  std::size_t shard_index = 0;
+  std::size_t shard_total = 0;
+  /// --shard-exec N: single-machine orchestrator -- fork N worker
+  /// processes (each running one shard over the shared cache dir), wait,
+  /// merge in-process, write the merged artifact to --out-file. 0 = off.
+  std::size_t shard_exec = 0;
+  /// --merge a.json b.json ...: stitch shard partials into the canonical
+  /// merged result (the trailing non-flag arguments after --merge).
+  bool merge = false;
+  std::vector<std::string> merge_inputs;
+
   // ---- --compare mode (mutually exclusive with running a scenario) ----
   bool compare = false;
   std::string compare_baseline;   // --compare <baseline.json> <candidate.json>

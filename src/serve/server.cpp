@@ -54,6 +54,21 @@ void discard_body(int fd, std::size_t bytes) {
   }
 }
 
+/// True when the client side of `fd` is gone: peer fully closed (POLLHUP
+/// on AF_UNIX), the descriptor errored, or it is no longer a socket. A
+/// zero-timeout poll never blocks, and a drain's local shutdown(SHUT_RD)
+/// on the reader side sets only RCV_SHUTDOWN -- no POLLHUP -- so queued
+/// requests from still-connected clients keep their "admitted work
+/// finishes" guarantee through a graceful stop.
+bool peer_gone(int fd) {
+  if (fd < 0) return false;
+  pollfd probe{};
+  probe.fd = fd;
+  probe.events = 0;
+  const int rc = ::poll(&probe, 1, 0);
+  return rc > 0 && (probe.revents & (POLLHUP | POLLERR | POLLNVAL)) != 0;
+}
+
 void send_response(int fd, const std::string& request_id, bool ok,
                    const std::string& body) {
   ResponseHeader header;
@@ -70,6 +85,11 @@ void send_response(int fd, const std::string& request_id, bool ok,
 struct ScenarioServer::Pending {
   std::string request_id;
   scenario::ScenarioSpec spec;
+  /// The connection's descriptor, for the dequeue-time liveness probe.
+  /// Safe to poll from a worker: the connection thread blocks in
+  /// future.get() until this request resolves, so the fd stays open (and
+  /// unrecycled) for the Pending's whole queue lifetime.
+  int client_fd = -1;
   std::uint64_t deadline_ms = 0;
   std::chrono::steady_clock::time_point enqueued;
   std::promise<Outcome> outcome;
@@ -279,6 +299,7 @@ void ScenarioServer::connection_loop(Connection* conn) {
 
       auto pending = std::make_unique<Pending>();
       pending->request_id = header.request_id;
+      pending->client_fd = fd;
       pending->deadline_ms = header.deadline_ms;
       try {
         scenario::RequestOptions request;
@@ -373,6 +394,20 @@ void ScenarioServer::worker_loop() {
           pending->request_id, "deadline_exceeded",
           "request waited past its deadline of " +
               std::to_string(pending->deadline_ms) + " ms; not run");
+      pending->outcome.set_value(std::move(outcome));
+      continue;
+    }
+    if (peer_gone(pending->client_fd)) {
+      // The client hung up while its request was queued: computing the
+      // result would only feed a dead socket. Resolve with a structured
+      // error (the connection thread is still parked in future.get() and
+      // discovers the hangup when its reply write fails).
+      static obs::Counter& obs_cancelled = obs::counter("obs.serve.cancelled");
+      obs_cancelled.add(1);
+      Outcome outcome;
+      outcome.body = make_error_envelope(
+          pending->request_id, "client_gone",
+          "client connection closed while the request was queued; not run");
       pending->outcome.set_value(std::move(outcome));
       continue;
     }

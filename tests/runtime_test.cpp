@@ -640,6 +640,59 @@ TEST(DiskPayoffCacheTest, EnforceMaxBytesEvictsOldestShards) {
   std::filesystem::remove_all(dir);
 }
 
+TEST(DiskPayoffCacheTest, ConcurrentEvictionCountsOnlyOwnRemovals) {
+  // Two cache instances (standing in for two worker processes sharing a
+  // --cache-dir) race enforce_max_bytes over one directory. Each removal
+  // must be counted by exactly one racer -- a shard that vanished under a
+  // racer's feet is the OTHER side's eviction, not an error -- so the two
+  // counts sum to exactly the number of files that disappeared, and the
+  // "cannot evict" warning never fires for the vanished-shard case.
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "pg_disk_cache_race")
+          .string();
+  std::filesystem::remove_all(dir);
+  runtime::PayoffCache cache;
+  for (std::uint64_t k = 0; k < 8; ++k) cache.store(k, 0.25);
+  runtime::DiskPayoffCache writer(dir);
+  constexpr std::uint64_t kShards = 40;
+  for (std::uint64_t s = 1; s <= kShards; ++s) {
+    ASSERT_EQ(writer.save(s, cache), 8u);
+  }
+  const auto shard_bytes = std::filesystem::file_size(writer.shard_path(1));
+
+  const auto live_shards = [&dir]() {
+    std::size_t n = 0;
+    for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+      if (entry.path().extension() == ".pgpc") ++n;
+    }
+    return n;
+  };
+  ASSERT_EQ(live_shards(), kShards);
+
+  // Capture stderr: the race must stay silent apart from the final
+  // "evicted N oldest shard(s)" summary each racer prints.
+  std::ostringstream captured;
+  std::streambuf* old_cerr = std::cerr.rdbuf(captured.rdbuf());
+
+  // Cap fits two shards: 38 must go, split between the racers.
+  runtime::DiskPayoffCache a(dir, 2 * shard_bytes);
+  runtime::DiskPayoffCache b(dir, 2 * shard_bytes);
+  std::size_t evicted_a = 0;
+  std::size_t evicted_b = 0;
+  std::thread ta([&] { evicted_a = a.enforce_max_bytes(); });
+  std::thread tb([&] { evicted_b = b.enforce_max_bytes(); });
+  ta.join();
+  tb.join();
+  std::cerr.rdbuf(old_cerr);
+
+  const std::size_t after = live_shards();
+  EXPECT_LE(after, 2u);
+  EXPECT_EQ(evicted_a + evicted_b, kShards - after);
+  EXPECT_EQ(captured.str().find("cannot evict"), std::string::npos)
+      << captured.str();
+  std::filesystem::remove_all(dir);
+}
+
 // -------------------------------------------------- nested parallel_for
 // The depth-tagged nested scheduler: outer tasks submit inner chunks to
 // the SAME pool; joins help-drain instead of sleeping, so saturation can

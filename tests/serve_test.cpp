@@ -9,6 +9,7 @@
 #include <sys/socket.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <filesystem>
 #include <fstream>
@@ -420,6 +421,73 @@ TEST_F(ServeTest, StalesSocketIsReplacedAndLiveSocketRefused) {
   ScenarioServer third(options_);
   EXPECT_THROW(third.start(), std::invalid_argument);  // not a socket
   std::filesystem::remove(options_.socket_path);
+}
+
+TEST_F(ServeTest, QueuedRequestForDeadClientIsCancelledNotComputed) {
+  // One worker: client A occupies it with a slow request, client B
+  // enqueues behind A and hangs up. At dequeue the worker must detect
+  // the dead socket and cancel (obs.serve.cancelled) instead of burning
+  // the compute on a reply nobody can read.
+  options_.request_workers = 1;
+  Start();
+
+  scenario::ScenarioSpec slow =
+      shrink(scenario::ScenarioRegistry::instance().make("fig1"));
+  slow.set("instances", "6000");
+  slow.set("epochs", "60");
+  slow.set("sweep_steps", "4");
+  slow.set("replications", "2");  // ~1s: plenty to park B behind it
+
+  const std::uint64_t cancelled_before =
+      obs::counter("obs.serve.cancelled").value();
+  const std::uint64_t dequeues_before =
+      obs::timer("obs.serve.queue_wait").stats().count;
+
+  std::atomic<bool> a_ok{false};
+  std::thread a([&] {
+    Client client = Client::connect_retry(options_.socket_path, 15000);
+    const Client::Response response = client.request(slow.to_text());
+    a_ok.store(response.ok());
+  });
+
+  // Wait until the worker has DEQUEUED A (queue_wait samples once per
+  // dequeue) -- from here it is busy for A's full runtime.
+  for (int i = 0; i < 15000; ++i) {
+    if (obs::timer("obs.serve.queue_wait").stats().count > dequeues_before)
+      break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_GT(obs::timer("obs.serve.queue_wait").stats().count,
+            dequeues_before);
+
+  {
+    // B: frame a valid request, then hang up without reading the reply.
+    Client b = Client::connect_retry(options_.socket_path, 15000);
+    const std::string body =
+        shrink(scenario::ScenarioRegistry::instance().make("fig1")).to_text();
+    RequestHeader header;
+    header.request_id = "dead-client";
+    header.body_bytes = body.size();
+    const std::string frame = format_request_header(header) + body;
+    write_all(b.fd(), frame.data(), frame.size());
+  }  // ~Client closes the socket while the request is still queued
+
+  a.join();
+  EXPECT_TRUE(a_ok.load());
+
+  // The worker reaches B right after A; give it a bounded moment.
+  for (int i = 0; i < 15000; ++i) {
+    if (obs::counter("obs.serve.cancelled").value() > cancelled_before) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(obs::counter("obs.serve.cancelled").value(),
+            cancelled_before + 1);
+
+  // The server survives and still answers live clients.
+  Client check = Connect();
+  const Client::Response response = check.request(
+      shrink(scenario::ScenarioRegistry::instance().make("fig1")).to_text());
+  EXPECT_TRUE(response.ok());
 }
 
 }  // namespace

@@ -7,8 +7,12 @@
 // cross-product grid over any spec keys in one run, `--out` picks the
 // result sink (text, JSON, CSV), and `--compare` diffs two JSON result
 // artifacts for regression triage (exit 1 past `--tolerance`; the
-// tests/golden/ baselines are maintained with `--update-baseline`). See
-// src/scenario/ for the engine.
+// tests/golden/ baselines are maintained with `--update-baseline`).
+// Sweeps also shard across processes: `--shard i/N` runs a deterministic
+// stride of the grid and emits a partial artifact, `--merge` stitches
+// the N partials back into the canonical result, and `--shard-exec N`
+// forks N local workers over one shared cache dir and merges for you.
+// See src/scenario/ for the engine.
 #include <iostream>
 #include <string>
 #include <vector>
