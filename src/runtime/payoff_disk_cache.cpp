@@ -9,6 +9,8 @@
 #include <vector>
 
 #include "obs/metrics.h"
+#include "robust/atomic_file.h"
+#include "robust/faultpoint.h"
 #include "util/env.h"
 #include "util/logging.h"
 
@@ -124,6 +126,7 @@ std::size_t DiskPayoffCache::load(std::uint64_t shard,
                                   PayoffCache& into) const {
   if (!enabled()) return 0;
   const std::string path = shard_path(shard);
+  robust::faultpoint("cache.load", shard);
   std::ifstream in(path, std::ios::binary);
   if (!in) return 0;  // no shard yet: a cold run, not an error
   std::ostringstream buf;
@@ -132,7 +135,19 @@ std::size_t DiskPayoffCache::load(std::uint64_t shard,
   if (!decode(buf.str(), entries)) {
     static obs::Counter& failures = obs::counter("obs.disk.checksum_failures");
     failures.add(1);
-    util::log_warn() << "payoff disk cache: ignoring corrupt shard " << path;
+    // Quarantine the poisoned file: left in place it would be re-read
+    // and re-rejected on every later run. The rename keeps the bytes for
+    // post-mortem while the .corrupt extension hides it from both this
+    // loader and the eviction scan (which only touches *.pgpc).
+    in.close();
+    std::error_code ec;
+    std::filesystem::rename(path, path + ".corrupt", ec);
+    if (ec) std::filesystem::remove(path, ec);
+    static obs::Counter& quarantined = obs::counter("obs.cache.quarantined");
+    quarantined.add(1);
+    util::log_warn() << "payoff disk cache: quarantined corrupt shard "
+                     << path << " (likely a truncated or torn write); "
+                     << "this run degrades to a cold retrain";
     return 0;
   }
   into.preload(entries);
@@ -154,25 +169,14 @@ std::size_t DiskPayoffCache::save(std::uint64_t shard,
     return 0;
   }
   const std::string path = shard_path(shard);
-  const std::string tmp = path + ".tmp";
-  {
-    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    if (!out) {
-      util::log_warn() << "payoff disk cache: cannot write " << tmp;
-      return 0;
-    }
-    const std::string bytes = encode(entries);
-    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
-    if (!out) {
-      util::log_warn() << "payoff disk cache: short write to " << tmp;
-      return 0;
-    }
-  }
-  std::filesystem::rename(tmp, path, ec);
-  if (ec) {
-    util::log_warn() << "payoff disk cache: rename to " << path
-                     << " failed: " << ec.message();
-    std::filesystem::remove(tmp, ec);
+  // Cache persistence is best-effort by contract: a refused write (or an
+  // injected cache.store fault) degrades to "this run's retrains are not
+  // reused", never to a failed run.
+  try {
+    robust::atomic_write_file(path, encode(entries), "cache.store", shard);
+  } catch (const std::exception& e) {
+    util::log_warn() << "payoff disk cache: cannot write " << path << ": "
+                     << e.what();
     return 0;
   }
   static obs::Counter& saved = obs::counter("obs.disk.entries_saved");

@@ -18,8 +18,12 @@
 // Loading is strictly validating: a bad magic, truncated body, or checksum
 // mismatch makes load() return 0 entries (with a log warning) instead of
 // throwing -- a corrupt or stale cache file degrades to a cold run, never
-// to a wrong result or a crash. save() writes to a temp file and renames
-// it into place so a crashed writer cannot leave a half-written shard.
+// to a wrong result or a crash. A rejected shard is QUARANTINED (renamed
+// to <file>.corrupt, counted as obs.cache.quarantined) so later runs stop
+// re-reading and re-rejecting the same poisoned bytes. save() goes through
+// robust::atomic_write_file (temp + fsync + rename) so a crashed writer
+// cannot leave a half-written shard; both paths carry robust fault points
+// (cache.load / cache.store) for chaos testing.
 //
 // The directory comes from the caller or the PG_CACHE_DIR environment
 // variable; empty means disabled (every call becomes a no-op).
@@ -53,7 +57,8 @@ class DiskPayoffCache {
 
   /// Merge the shard's persisted entries into `into` (existing keys win).
   /// Returns the number of entries read; 0 when disabled, missing, or
-  /// corrupt. Never throws on bad file contents.
+  /// corrupt. Never throws on bad file contents; a corrupt file is
+  /// quarantined (renamed to <file>.corrupt) on detection.
   std::size_t load(std::uint64_t shard, PayoffCache& into) const;
 
   /// Persist the cache's full contents as the shard file (the caller

@@ -43,6 +43,17 @@ struct CliOptions {
   /// processes (each running one shard over the shared cache dir), wait,
   /// merge in-process, write the merged artifact to --out-file. 0 = off.
   std::size_t shard_exec = 0;
+  /// --shard-retries K: with --shard-exec, relaunch a failed worker
+  /// (nonzero exit, killed by a signal, or a missing/unparseable partial)
+  /// up to K more times with exponential backoff + jitter before giving
+  /// up. Only the failed shards relaunch; the merged result is
+  /// unaffected because partials are deterministic per shard. 0 = the
+  /// historical fail-fast behavior.
+  std::size_t shard_retries = 0;
+  /// --fault SITE:ACTION[@TRIGGER] entries (repeatable), applied as the
+  /// process fault table before the run -- the CLI twin of $PG_FAULTS
+  /// (flags win; see src/robust/faultpoint.h for the grammar).
+  std::vector<std::string> faults;
   /// --merge a.json b.json ...: stitch shard partials into the canonical
   /// merged result (the trailing non-flag arguments after --merge).
   bool merge = false;
@@ -59,6 +70,13 @@ struct CliOptions {
   /// keys (skipped by default -- their values are scheduling-dependent).
   bool with_telemetry = false;
 };
+
+/// Exit code for `--merge` when the inputs are valid, mutually
+/// consistent partials of one sweep but some shards are absent. Paired
+/// with the machine-readable `missing_shards=i,j,...` stdout line so a
+/// retry wrapper can relaunch exactly those shards; every other merge
+/// failure stays generic exit 1.
+inline constexpr int kExitMissingShards = 4;
 
 /// Parse argv (excluding argv[0]). Throws std::invalid_argument on
 /// unknown flags, missing flag values, or malformed --set syntax.

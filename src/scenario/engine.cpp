@@ -35,6 +35,7 @@
 #include "la/vector_ops.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "robust/atomic_file.h"
 #include "runtime/executor.h"
 #include "runtime/payoff_disk_cache.h"
 #include "runtime/payoff_evaluator.h"
@@ -882,6 +883,43 @@ void run_micro_scenario(const ScenarioSpec& spec, runtime::Executor* exec,
   result.tables.push_back(std::move(table));
 }
 
+// Service-health scenario: snapshot the PROCESS's serve/fault/shard
+// counters into a telemetry table. Submitted to a pg_serve daemon it
+// reports the daemon's own live counters (queue depth, errors, pings,
+// retries) without submitting real work; run standalone it pins the
+// stable identity surface -- protocol and schema versions -- which is
+// what the golden baseline compares (the counter VALUES are
+// scheduling-dependent telemetry, excluded by table name and obs.-prefix
+// like every other telemetry surface).
+void run_serve_metrics_scenario(const ScenarioSpec& spec,
+                                runtime::Executor* exec, CacheBundle& bundle,
+                                ScenarioResult& result) {
+  (void)spec;
+  (void)exec;
+  (void)bundle;
+  result.add_metric("protocol_major", serve::kProtocolMajor);
+  result.add_metric("protocol_minor", serve::kProtocolMinor);
+  result.add_metric("schema_version", serve::kSchemaVersion);
+  ResultTable table{"telemetry_serve", {"metric", "kind", "value"}, {}};
+  for (const auto& m : obs::snapshot_metrics()) {
+    const bool service = m.name.rfind("obs.serve.", 0) == 0 ||
+                         m.name.rfind("obs.fault.", 0) == 0 ||
+                         m.name.rfind("obs.shard.", 0) == 0 ||
+                         m.name.rfind("obs.cache.quarantined", 0) == 0;
+    if (!service) continue;
+    const char* kind = m.kind == obs::MetricSnapshot::Kind::kTimer
+                           ? "timer"
+                           : (m.kind == obs::MetricSnapshot::Kind::kGauge
+                                  ? "gauge"
+                                  : "counter");
+    table.add_row({m.name, kind, m.count});
+  }
+  // The row count is health data too, but it varies with process
+  // history; the obs. prefix keeps it out of baseline comparison.
+  result.add_metric("obs.serve.metrics_reported", table.rows.size());
+  result.tables.push_back(std::move(table));
+}
+
 // ------------------------------------------------------------ sweep grids
 // A sweep-grid run executes every SweepPlan child through the same
 // runner dispatch, then folds the per-point results into ONE merged
@@ -1066,6 +1104,7 @@ RunnerFn runner_for(const std::string& kind) {
   if (kind == "defense_ablation") return &run_defense_ablation_scenario;
   if (kind == "solver_parallel") return &run_solver_parallel_scenario;
   if (kind == "micro") return &run_micro_scenario;
+  if (kind == "serve_metrics") return &run_serve_metrics_scenario;
   PG_CHECK(false, "unknown scenario kind: " + kind);
   return nullptr;  // unreachable
 }
@@ -1227,14 +1266,13 @@ ScenarioResult run_scenario_standalone(const ScenarioSpec& spec,
 
   // Flush the trace AFTER the run so the file includes every span. A
   // failing trace write throws past the result -- the CLI pre-checks
-  // writability, so this only fires when the path went bad mid-run.
+  // writability, so this only fires when the path went bad mid-run. The
+  // write is atomic (temp + fsync + rename): a worker killed here leaves
+  // no torn trace for tooling to choke on.
   if (!spec.trace.empty()) {
-    std::ofstream trace_out(spec.trace, std::ios::trunc);
-    PG_CHECK(static_cast<bool>(trace_out),
-             "cannot write trace file: " + spec.trace);
+    std::ostringstream trace_out;
     obs::Tracer::instance().write_chrome_trace(trace_out);
-    PG_CHECK(static_cast<bool>(trace_out),
-             "short write to trace file: " + spec.trace);
+    robust::atomic_write_file(spec.trace, trace_out.str(), "artifact.trace");
   }
   return result;
 }
@@ -1474,15 +1512,21 @@ ScenarioResult merge_partials(
   }
   if (shard_points.size() != total) {
     std::string missing;
+    std::vector<std::size_t> missing_indices;
     for (std::size_t s = 0; s < total; ++s) {
       if (shard_points.count(s) == 0) {
         if (!missing.empty()) missing += ", ";
         missing += std::to_string(s);
+        missing_indices.push_back(s);
       }
     }
-    PG_CHECK(false, "merge: " + std::to_string(shard_points.size()) +
-                        " of " + std::to_string(total) +
-                        " shard(s) present; missing shard(s): " + missing);
+    // Typed, not PG_CHECK: the CLI turns this into the machine-readable
+    // missing_shards= line + exit 4 a retry wrapper keys off.
+    throw MissingShardsError(
+        "merge: " + std::to_string(shard_points.size()) + " of " +
+            std::to_string(total) + " shard(s) present; missing shard(s): " +
+            missing,
+        std::move(missing_indices));
   }
 
   // Pass 2 -- rebuild the plan from the shared spec text and replay every

@@ -23,6 +23,7 @@
 #pragma once
 
 #include <cstddef>
+#include <stdexcept>
 #include <string>
 #include <utility>
 #include <vector>
@@ -73,6 +74,19 @@ struct ShardRequest {
 /// (missing or overlapping shards are a hard error naming the label).
 [[nodiscard]] ScenarioResult merge_partials(
     const std::vector<std::pair<std::string, JsonValue>>& partials);
+
+/// Thrown by merge_partials when the inputs are valid, mutually
+/// consistent partials of one sweep but some shards are absent. Carries
+/// the missing indices so a retry wrapper can relaunch exactly those
+/// shards; `pg_run --merge` turns it into the machine-readable
+/// `missing_shards=i,j,...` stdout line and exit code 4 (other merge
+/// failures stay generic exit 1).
+struct MissingShardsError : std::runtime_error {
+  MissingShardsError(const std::string& message,
+                     std::vector<std::size_t> missing_shards)
+      : std::runtime_error(message), missing(std::move(missing_shards)) {}
+  std::vector<std::size_t> missing;
+};
 
 /// Coordinate cells in merged sweep tables: numeric ONLY for finite
 /// values whose text is a canonical grid rendering (shortest-roundtrip

@@ -116,6 +116,18 @@ ScenarioSpec make_micro() {
   return spec;
 }
 
+ScenarioSpec make_serve_metrics() {
+  // Service health, not simulation: sized by nothing, so the paper
+  // envelope's knobs are irrelevant -- a bare spec keeps the golden
+  // baseline independent of PG_BENCH_* overrides.
+  ScenarioSpec spec;
+  spec.name = "serve_metrics";
+  spec.kind = "serve_metrics";
+  spec.description =
+      "Service health: serve/fault/retry counters + protocol versions";
+  return spec;
+}
+
 }  // namespace
 
 ScenarioRegistry::ScenarioRegistry() {
@@ -132,6 +144,7 @@ ScenarioRegistry::ScenarioRegistry() {
   add(&make_defense_ablation);
   add(&make_solver_parallel);
   add(&make_micro);
+  add(&make_serve_metrics);
 }
 
 const ScenarioRegistry& ScenarioRegistry::instance() {

@@ -29,7 +29,7 @@ struct ScenarioSpec {
   std::string name = "custom";
   /// Engine dispatch key: pure_sweep | mixed_table | pure_ne |
   /// support_sweep | transfer | solver_ablation | defense_ablation |
-  /// solver_parallel | micro.
+  /// solver_parallel | micro | serve_metrics.
   std::string kind;
   std::string description;
 

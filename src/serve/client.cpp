@@ -1,9 +1,11 @@
 #include "serve/client.h"
 
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cerrno>
 #include <chrono>
@@ -16,6 +18,28 @@
 namespace pg::serve {
 
 namespace {
+
+std::string next_request_id() {
+  static std::atomic<std::uint64_t> next{0};
+  return "req-" + std::to_string(next.fetch_add(1, std::memory_order_relaxed));
+}
+
+/// Read one response frame (header line + envelope body) off `fd`.
+Client::Response read_response(int fd) {
+  Client::Response response;
+  std::string header_line;
+  if (!read_line(fd, header_line, kMaxHeaderBytes)) {
+    throw std::runtime_error(
+        "serve client: server closed the connection before responding");
+  }
+  response.header = parse_response_header(header_line);
+  response.body.resize(response.header.body_bytes);
+  if (response.header.body_bytes > 0 &&
+      !read_exact(fd, response.body.data(), response.body.size())) {
+    throw std::runtime_error("serve client: truncated response body");
+  }
+  return response;
+}
 
 int connect_once(const std::string& path, std::string* error) {
   sockaddr_un addr{};
@@ -81,29 +105,71 @@ Client& Client::operator=(Client&& other) noexcept {
 Client::Response Client::request(const std::string& spec_text,
                                  RequestHeader meta) {
   PG_CHECK(fd_ != -1, "serve client: moved-from client");
-  if (meta.request_id.empty()) {
-    static std::atomic<std::uint64_t> next{0};
-    meta.request_id =
-        "req-" + std::to_string(next.fetch_add(1, std::memory_order_relaxed));
-  }
+  if (meta.request_id.empty()) meta.request_id = next_request_id();
   meta.body_bytes = spec_text.size();
   const std::string line = format_request_header(meta);
   write_all(fd_, line.data(), line.size());
   write_all(fd_, spec_text.data(), spec_text.size());
+  return read_response(fd_);
+}
 
-  Response response;
-  std::string header_line;
-  if (!read_line(fd_, header_line, kMaxHeaderBytes)) {
-    throw std::runtime_error(
-        "serve client: server closed the connection before responding");
+Client::Response Client::ping(RequestHeader meta) {
+  PG_CHECK(fd_ != -1, "serve client: moved-from client");
+  if (meta.request_id.empty()) meta.request_id = next_request_id();
+  const std::string line = format_ping_header(meta.request_id);
+  write_all(fd_, line.data(), line.size());
+  return read_response(fd_);
+}
+
+void Client::set_read_timeout(std::size_t timeout_ms) {
+  PG_CHECK(fd_ != -1, "serve client: moved-from client");
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(timeout_ms / 1000);
+  tv.tv_usec = static_cast<suseconds_t>((timeout_ms % 1000) * 1000);
+  PG_CHECK(::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv)) == 0,
+           "serve client: cannot set read timeout");
+}
+
+Client::Response Client::request_retry(const std::string& socket_path,
+                                       const std::string& spec_text,
+                                       const RetryPolicy& policy,
+                                       RequestHeader meta) {
+  PG_CHECK(policy.attempts >= 1,
+           "serve client: retry policy needs at least one attempt");
+  std::size_t backoff = policy.backoff_ms;
+  for (std::size_t attempt = 0;; ++attempt) {
+    try {
+      Client client = connect_retry(socket_path, policy.connect_timeout_ms);
+      if (policy.read_timeout_ms != 0) {
+        client.set_read_timeout(policy.read_timeout_ms);
+      }
+      return client.request(spec_text, meta);
+    } catch (const std::exception&) {
+      if (attempt + 1 >= policy.attempts) throw;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(backoff));
+    backoff = std::min<std::size_t>(backoff * 2, 2000);
   }
-  response.header = parse_response_header(header_line);
-  response.body.resize(response.header.body_bytes);
-  if (response.header.body_bytes > 0 &&
-      !read_exact(fd_, response.body.data(), response.body.size())) {
-    throw std::runtime_error("serve client: truncated response body");
+}
+
+Client::Response Client::ping_retry(const std::string& socket_path,
+                                    const RetryPolicy& policy) {
+  PG_CHECK(policy.attempts >= 1,
+           "serve client: retry policy needs at least one attempt");
+  std::size_t backoff = policy.backoff_ms;
+  for (std::size_t attempt = 0;; ++attempt) {
+    try {
+      Client client = connect_retry(socket_path, policy.connect_timeout_ms);
+      if (policy.read_timeout_ms != 0) {
+        client.set_read_timeout(policy.read_timeout_ms);
+      }
+      return client.ping();
+    } catch (const std::exception&) {
+      if (attempt + 1 >= policy.attempts) throw;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(backoff));
+    backoff = std::min<std::size_t>(backoff * 2, 2000);
   }
-  return response;
 }
 
 }  // namespace pg::serve

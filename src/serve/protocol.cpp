@@ -194,6 +194,43 @@ ResponseHeader parse_response_header(const std::string& line) {
   return header;
 }
 
+std::string frame_kind(const std::string& line) {
+  const auto tokens = split_tokens(line);
+  return tokens.size() >= 2 ? tokens[1] : std::string();
+}
+
+std::string format_ping_header(const std::string& request_id) {
+  PG_CHECK(valid_request_id(request_id),
+           "serve: request id must be 1-" +
+               std::to_string(kMaxRequestIdBytes) +
+               " chars of [A-Za-z0-9._-], got '" + request_id + "'");
+  std::ostringstream out;
+  out << "PGSERVE/" << kProtocolMajor << "." << kProtocolMinor
+      << " ping id=" << request_id << "\n";
+  return out.str();
+}
+
+RequestHeader parse_ping_header(const std::string& line) {
+  const FramePrefix prefix = parse_prefix(line, "ping");
+  RequestHeader header;
+  header.major = prefix.major;
+  header.minor = prefix.minor;
+  header.body_bytes = 0;
+  bool have_id = false;
+  for (const std::string& token : prefix.pairs) {
+    const auto [key, value] = split_pair(token);
+    if (key == "id") {
+      PG_CHECK(valid_request_id(value),
+               "serve header: bad request id '" + value + "'");
+      header.request_id = value;
+      have_id = true;
+    }
+    // Unknown keys: ignored (a newer minor version added them).
+  }
+  PG_CHECK(have_id, "serve header: id= is required");
+  return header;
+}
+
 std::string make_ok_envelope(const std::string& request_id,
                              const std::string& result_json) {
   std::string result = result_json;

@@ -37,8 +37,9 @@ namespace pg::serve {
 
 /// Framing major version: reject on mismatch.
 inline constexpr int kProtocolMajor = 1;
-/// Framing minor version: additive header keys only.
-inline constexpr int kProtocolMinor = 0;
+/// Framing minor version: additive header keys/frame kinds only.
+/// History: 1 added the body-less `ping` health-check frame.
+inline constexpr int kProtocolMinor = 1;
 /// Schema number shared by every JSON artifact (result sink, metrics
 /// snapshot, bench snapshots, response envelope). Grow-only.
 inline constexpr int kSchemaVersion = 1;
@@ -76,6 +77,25 @@ struct ResponseHeader {
 /// caller decides how to reject it, and needs `len` to resync.
 [[nodiscard]] RequestHeader parse_request_header(const std::string& line);
 [[nodiscard]] ResponseHeader parse_response_header(const std::string& line);
+
+/// The frame-kind token ("req", "rsp", "ping", ...) of a header line, or
+/// "" when the line has no second token -- lets the server dispatch on
+/// the kind before committing to a full parse.
+[[nodiscard]] std::string frame_kind(const std::string& line);
+
+/// Ping frames (minor 1, additive): the body-less health-check line
+///
+///     PGSERVE/<major>.<minor> ping id=<id>\n
+///
+/// answered with a normal rsp frame whose ok envelope body is a small
+/// `{"pong": true}` result (the envelope itself quotes the server's
+/// protocol and schema versions). A minor-0 server answers a ping with
+/// its usual `bad_request` error -- still a well-formed response frame,
+/// so probes against old servers degrade to "reachable but no ping
+/// support" instead of hanging. parse_ping_header returns a
+/// RequestHeader with body_bytes == 0; only id= is required.
+[[nodiscard]] std::string format_ping_header(const std::string& request_id);
+[[nodiscard]] RequestHeader parse_ping_header(const std::string& line);
 
 /// Response envelope bodies. `result_json` must be a complete JSON
 /// document (the JSON result sink's output); it is embedded verbatim.

@@ -9,7 +9,6 @@
 #include <cerrno>
 #include <chrono>
 #include <cstring>
-#include <fstream>
 #include <future>
 #include <sstream>
 #include <stdexcept>
@@ -17,6 +16,8 @@
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "robust/atomic_file.h"
+#include "robust/faultpoint.h"
 #include "runtime/payoff_disk_cache.h"
 #include "scenario/engine.h"
 #include "scenario/request.h"
@@ -71,6 +72,10 @@ bool peer_gone(int fd) {
 
 void send_response(int fd, const std::string& request_id, bool ok,
                    const std::string& body) {
+  // An injected serve.write throw unwinds to the connection loop's
+  // catch, dropping THIS connection only -- the resilience the client's
+  // request_retry is tested against.
+  robust::faultpoint("serve.write");
   ResponseHeader header;
   header.request_id = request_id;
   header.status = ok ? "ok" : "error";
@@ -254,6 +259,37 @@ void ScenarioServer::connection_loop(Connection* conn) {
     std::string line;
     while (!stopping_.load(std::memory_order_acquire) &&
            read_line(fd, line, kMaxHeaderBytes)) {
+      robust::faultpoint("serve.read");
+      if (frame_kind(line) == "ping") {
+        // Health checks bypass the admission queue on purpose: a probe
+        // must answer even while the queue is full of long sweeps.
+        static obs::Counter& obs_pings = obs::counter("obs.serve.pings");
+        RequestHeader ping;
+        try {
+          ping = parse_ping_header(line);
+        } catch (const std::exception& e) {
+          obs_errors.add(1);
+          send_response(fd, "", false,
+                        make_error_envelope("", "bad_request", e.what()));
+          break;
+        }
+        obs_pings.add(1);
+        if (ping.major != kProtocolMajor) {
+          obs_errors.add(1);
+          send_response(
+              fd, ping.request_id, false,
+              make_error_envelope(
+                  ping.request_id, "unsupported_protocol",
+                  "server speaks PGSERVE/" + std::to_string(kProtocolMajor) +
+                      "." + std::to_string(kProtocolMinor) +
+                      ", ping is " + std::to_string(ping.major) + "." +
+                      std::to_string(ping.minor)));
+        } else {
+          send_response(fd, ping.request_id, true,
+                        make_ok_envelope(ping.request_id, "{\"pong\": true}"));
+        }
+        continue;
+      }
       RequestHeader header;
       try {
         header = parse_request_header(line);
@@ -443,16 +479,15 @@ void ScenarioServer::drain() {
                    << " cache entries";
 
   if (!options_.metrics_out.empty()) {
-    std::ofstream out(options_.metrics_out, std::ios::trunc);
-    PG_CHECK(static_cast<bool>(out),
-             "serve: cannot write metrics file: " + options_.metrics_out);
+    std::ostringstream out;
     scenario::write_metrics_json("pg_serve", out);
+    robust::atomic_write_file(options_.metrics_out, out.str(),
+                              "artifact.metrics");
   }
   if (!options_.trace.empty()) {
-    std::ofstream out(options_.trace, std::ios::trunc);
-    PG_CHECK(static_cast<bool>(out),
-             "serve: cannot write trace file: " + options_.trace);
+    std::ostringstream out;
     obs::Tracer::instance().write_chrome_trace(out);
+    robust::atomic_write_file(options_.trace, out.str(), "artifact.trace");
   }
 }
 

@@ -1237,8 +1237,15 @@ TEST_F(ShardMergeTest, MergeValidationNamesTheBrokenInput) {
 
   // Duplicate shard index.
   EXPECT_THROW((void)merge_partials({p0, p0}), std::invalid_argument);
-  // Missing shard.
-  EXPECT_THROW((void)merge_partials({p0}), std::invalid_argument);
+  // Missing shard: the one validation failure a retry wrapper can fix,
+  // so it throws the typed error carrying the absent indices (pg_run
+  // --merge turns it into `missing_shards=...` + exit 4).
+  try {
+    (void)merge_partials({p0});
+    FAIL() << "expected MissingShardsError";
+  } catch (const MissingShardsError& e) {
+    EXPECT_EQ(e.missing, std::vector<std::size_t>{1});
+  }
   // A plain (non-partial) artifact in the mix.
   const ScenarioResult full = run_scenario(spec_);
   std::ostringstream full_json;

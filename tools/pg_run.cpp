@@ -17,12 +17,17 @@
 #include <string>
 #include <vector>
 
+#include "robust/faultpoint.h"
 #include "scenario/cli.h"
 
 int main(int argc, char** argv) {
   std::vector<std::string> args(argv + 1, argv + argc);
   pg::scenario::CliOptions options;
   try {
+    // $PG_FAULTS arms the deterministic fault-injection table for this
+    // process AND every worker --shard-exec forks (inherited across
+    // fork); --fault flags replace it inside run_cli.
+    pg::robust::configure_from_env();
     options = pg::scenario::parse_cli(args);
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";

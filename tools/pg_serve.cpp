@@ -12,7 +12,9 @@
 // Client mode (`pg_serve --request SPECFILE --socket PATH`) sends one
 // spec file and prints the JSON response envelope (exit 0 on ok, 3 when
 // the server answered a structured error). `pg_run --compare` accepts
-// the envelope directly.
+// the envelope directly. `--retries`/`--read-timeout-ms` bound transport
+// flakiness (each retry reconnects fresh, with exponential backoff), and
+// `--ping` is the body-less health check (protocol minor 1).
 #include <csignal>
 #include <cstdlib>
 #include <fstream>
@@ -21,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "robust/faultpoint.h"
 #include "serve/client.h"
 #include "serve/protocol.h"
 #include "serve/server.h"
@@ -56,11 +59,18 @@ std::string usage() {
       "\n"
       "client mode:\n"
       "  pg_serve --request SPECFILE --socket PATH [options]\n"
+      "  pg_serve --ping --socket PATH [options]   health check (pong)\n"
       "  --id ID               request id (default auto req-<n>)\n"
       "  --priority N          scheduling priority (lower runs first)\n"
       "  --deadline-ms N       fail with deadline_exceeded if still\n"
       "                        queued after N ms\n"
       "  --timeout-ms N        connect retry window (default 15000)\n"
+      "  --retries N           re-send on transport failure up to N more\n"
+      "                        times, reconnecting fresh with exponential\n"
+      "                        backoff (default 0; structured errors never\n"
+      "                        retry)\n"
+      "  --read-timeout-ms N   fail a response read blocked past N ms\n"
+      "                        (default 0 = wait forever)\n"
       "  --out-file PATH       write the response envelope there\n"
       "  exit codes: 0 ok, 1 local error, 2 usage, 3 server-side error\n";
 }
@@ -83,10 +93,13 @@ std::size_t parse_size(const std::string& value, const std::string& flag) {
 
 struct CliOptions {
   bool help = false;
+  bool ping = false;         // client mode: health check, no spec body
   std::string request_file;  // non-empty = client mode
   pg::serve::ServeOptions serve;
   pg::serve::RequestHeader meta;
   std::size_t timeout_ms = 15000;
+  std::size_t retries = 0;
+  std::size_t read_timeout_ms = 0;
   std::string out_file;
 };
 
@@ -122,6 +135,12 @@ CliOptions parse_args(const std::vector<std::string>& args) {
       options.serve.metrics_out = value(i, arg);
     } else if (arg == "--request") {
       options.request_file = value(i, arg);
+    } else if (arg == "--ping") {
+      options.ping = true;
+    } else if (arg == "--retries") {
+      options.retries = parse_size(value(i, arg), arg);
+    } else if (arg == "--read-timeout-ms") {
+      options.read_timeout_ms = parse_size(value(i, arg), arg);
     } else if (arg == "--id") {
       options.meta.request_id = value(i, arg);
     } else if (arg == "--priority") {
@@ -138,6 +157,8 @@ CliOptions parse_args(const std::vector<std::string>& args) {
   }
   PG_CHECK(options.help || !options.serve.socket_path.empty(),
            "--socket is required\n" + usage());
+  PG_CHECK(!(options.ping && !options.request_file.empty()),
+           "--ping and --request are mutually exclusive");
   return options;
 }
 
@@ -154,11 +175,16 @@ int run_daemon(const CliOptions& options) {
 }
 
 int run_client(const CliOptions& options) {
-  const std::string spec_text = read_file(options.request_file);
-  pg::serve::Client client = pg::serve::Client::connect_retry(
-      options.serve.socket_path, options.timeout_ms);
+  pg::serve::Client::RetryPolicy policy;
+  policy.attempts = options.retries + 1;
+  policy.connect_timeout_ms = options.timeout_ms;
+  policy.read_timeout_ms = options.read_timeout_ms;
   const pg::serve::Client::Response response =
-      client.request(spec_text, options.meta);
+      options.ping
+          ? pg::serve::Client::ping_retry(options.serve.socket_path, policy)
+          : pg::serve::Client::request_retry(options.serve.socket_path,
+                                             read_file(options.request_file),
+                                             policy, options.meta);
   if (!options.out_file.empty()) {
     std::ofstream out(options.out_file, std::ios::trunc);
     PG_CHECK(static_cast<bool>(out),
@@ -192,8 +218,10 @@ int main(int argc, char** argv) {
       std::cout << usage();
       return 0;
     }
-    return options.request_file.empty() ? run_daemon(options)
-                                        : run_client(options);
+    pg::robust::configure_from_env();  // $PG_FAULTS chaos specs
+    return (options.request_file.empty() && !options.ping)
+               ? run_daemon(options)
+               : run_client(options);
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;
